@@ -1,0 +1,49 @@
+"""Benchmark: the end-to-end attack demonstrations (Section 5.1's context).
+
+Not a table of the paper per se, but the working attacks that motivate it:
+TLBleed-style key recovery and the covert channel, timed per design.
+"""
+
+import pytest
+
+from repro.attacks import random_message, tlbleed_attack, transmit
+from repro.security import TLBKind
+from repro.workloads.rsa import generate_key
+
+KEY = generate_key(bits=64, seed=11)
+MESSAGE = random_message(120, seed=3)
+
+
+@pytest.mark.parametrize(
+    "kind,exact",
+    [(TLBKind.SA, True), (TLBKind.SP, False), (TLBKind.RF, False)],
+    ids=lambda value: str(value),
+)
+def test_tlbleed_key_recovery(benchmark, kind, exact):
+    result = benchmark.pedantic(
+        tlbleed_attack, kwargs=dict(kind=kind, key=KEY), rounds=1, iterations=1
+    )
+    assert result.recovered_exactly == exact
+    benchmark.extra_info["accuracy"] = f"{result.accuracy:.2f}"
+    print(
+        f"\nTLBleed vs {kind.value} TLB: accuracy {result.accuracy:.1%}"
+        f"{' (full key recovered)' if result.recovered_exactly else ''}"
+    )
+
+
+@pytest.mark.parametrize(
+    "kind,max_capacity",
+    [(TLBKind.SA, 1.01), (TLBKind.SP, 0.05), (TLBKind.RF, 0.15)],
+    ids=lambda value: str(value),
+)
+def test_covert_channel(benchmark, kind, max_capacity):
+    result = benchmark.pedantic(
+        transmit, args=(MESSAGE, kind), rounds=1, iterations=1
+    )
+    capacity = result.empirical_capacity()
+    assert capacity <= max_capacity
+    benchmark.extra_info["capacity"] = f"{capacity:.3f}"
+    print(
+        f"\ncovert channel vs {kind.value} TLB: "
+        f"BER {result.bit_error_rate:.1%}, capacity {capacity:.3f} b/symbol"
+    )

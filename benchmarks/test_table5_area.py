@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 5 (area overhead of the secure designs).
+
+The FPGA synthesis of the paper is replaced by the calibrated analytical
+area model; the benchmark fits the model against the paper's 19 synthesis
+points and prints the model-vs-paper table.
+"""
+
+from repro.perf import AreaModel
+from repro.security import TLBKind
+
+
+def test_table5_area_model(benchmark):
+    model = benchmark(AreaModel)
+    worst_luts, worst_registers = model.max_relative_error()
+    benchmark.extra_info["max_lut_error"] = f"{worst_luts:.1%}"
+    print()
+    print("Table 5 -- area model vs the paper's synthesis results:")
+    print(model.table5())
+    print()
+    sp_luts, sp_registers = model.overhead_fraction(TLBKind.SP, "4W 32")
+    rf_luts, rf_registers = model.overhead_fraction(TLBKind.RF, "4W 32")
+    print(
+        f"4W 32 overheads: SP {sp_luts:+.1%} LUTs / {sp_registers:+.1%} regs; "
+        f"RF {rf_luts:+.1%} LUTs / {rf_registers:+.1%} regs "
+        "(paper: SP +0.4%/+0.1%, RF +6.2%/+5.5%)"
+    )
+    assert worst_luts < 0.05
+    assert abs(sp_luts) < 0.02
+    assert 0.02 < rf_luts < 0.10

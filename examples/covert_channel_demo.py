@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""A TLB covert channel, and how the secure designs shut it down.
+
+A sender (the "victim" process) and a receiver (the "attacker") share no
+memory, only the TLB.  Per bit the receiver primes a TLB set, the sender
+touches a page in that set for 1 (a different-set page for 0), and the
+receiver's probe timing reads the bit back out.
+
+Run with:  python examples/covert_channel_demo.py
+"""
+
+from repro.attacks import random_message, transmit
+from repro.security import TLBKind
+
+
+def main() -> None:
+    message = random_message(240, seed=9)
+    print(f"transmitting {len(message)} random bits through the TLB...\n")
+
+    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
+        result = transmit(message, kind)
+        print(f"== {kind.value} TLB ==")
+        print(f"  sent     : {message[:64]}...")
+        print(f"  received : {result.received[:64]}...")
+        print(f"  bit error rate      : {result.bit_error_rate:6.1%}")
+        print(f"  empirical capacity  : {result.empirical_capacity():6.3f} bits/symbol")
+        print(f"  raw throughput      : {result.bits_per_kilocycle:6.2f} bits/kcycle\n")
+
+    print(
+        "The standard TLB carries the message verbatim (capacity ~1 bit per\n"
+        "symbol, Section 5.2's C = 1 case); the SP TLB removes the\n"
+        "cross-process eviction entirely and the RF TLB randomizes it away."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""TLBleed in simulation: recover an RSA exponent through the TLB.
+
+The victim decrypts with a real (simulated-workload) libgcrypt-style
+square-and-multiply whose ``tp`` pointer page is touched only for 1-bits
+(Figure 5).  The attacker Prime + Probes the TLB set that page maps to,
+once per exponent-bit window.
+
+Against the standard SA TLB the single-trace recovery is exact.  The SP
+TLB's partitions remove the cross-process eviction signal entirely; the RF
+TLB randomizes the victim's fills so the probe decorrelates from ``tp``.
+
+Run with:  python examples/rsa_key_recovery.py
+"""
+
+from repro.attacks import tlbleed_attack
+from repro.security import TLBKind
+from repro.workloads.rsa import generate_key
+
+
+def main() -> None:
+    key = generate_key(bits=64, seed=2019)
+    print(f"victim RSA key: n={key.n:#x}")
+    print(f"secret exponent d ({key.d.bit_length()} bits): {key.d:#x}\n")
+
+    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
+        result = tlbleed_attack(kind, key=key)
+        print(f"== {kind.value} TLB ==")
+        print(f"true d     : {result.true_bits}")
+        print(f"recovered  : {result.recovered_bits}")
+        print(
+            f"accuracy   : {result.accuracy:.1%}"
+            f"{'  (FULL KEY RECOVERED)' if result.recovered_exactly else ''}\n"
+        )
+
+    print(
+        "The paper reports TLBleed's 92% single-trace success on real\n"
+        "hardware; the noise-free simulator recovers the SA TLB key\n"
+        "exactly, while the secure designs block exact recovery."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Ablations: mitigation ladder and design-space sweeps.
+
+* :mod:`repro.ablations.mitigations` -- the pre-existing mitigations of
+  Section 2.3 re-evaluated with the Table 4 harness (ASIDs 10/24, Sanctum
+  or SGX-style flush-on-switch 14/24, fully associative 18/24) alongside
+  the paper's SP (14/24) and RF (24/24) designs;
+* :mod:`repro.ablations.sweeps` -- the knobs the paper leaves for future
+  work: the SP partition split, the RF secure-region size, and the
+  replacement policy's effect on the baseline attack.
+"""
+
+from .hierarchy import (
+    HierarchyResult,
+    evaluate_hierarchies,
+    evaluate_hierarchy,
+    format_hierarchy_results,
+)
+from .large_pages import (
+    LargePageResult,
+    evaluate_large_pages,
+    format_large_page_comparison,
+)
+from .mitigations import (
+    MitigationResult,
+    evaluate_all_mitigations,
+    evaluate_asid_baseline,
+    evaluate_flush_on_switch,
+    evaluate_fully_associative,
+    format_mitigation_ladder,
+)
+from .sweeps import (
+    PartitionPoint,
+    PolicyPoint,
+    RegionPoint,
+    WalkLatencyPoint,
+    sweep_walk_latency,
+    format_partition_sweep,
+    format_region_sweep,
+    sweep_replacement_policy,
+    sweep_rf_region,
+    sweep_sp_partition,
+)
+
+__all__ = [
+    "HierarchyResult",
+    "LargePageResult",
+    "MitigationResult",
+    "PartitionPoint",
+    "PolicyPoint",
+    "RegionPoint",
+    "evaluate_all_mitigations",
+    "evaluate_hierarchies",
+    "evaluate_hierarchy",
+    "evaluate_asid_baseline",
+    "evaluate_large_pages",
+    "evaluate_flush_on_switch",
+    "evaluate_fully_associative",
+    "format_hierarchy_results",
+    "format_large_page_comparison",
+    "format_mitigation_ladder",
+    "format_partition_sweep",
+    "format_region_sweep",
+    "sweep_replacement_policy",
+    "sweep_rf_region",
+    "sweep_sp_partition",
+    "sweep_walk_latency",
+    "WalkLatencyPoint",
+]

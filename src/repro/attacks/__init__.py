@@ -1,0 +1,58 @@
+"""End-to-end attack demonstrations on the simulated TLB designs.
+
+* :mod:`repro.attacks.prime_probe` -- a TLBleed-style Prime + Probe attack
+  recovering RSA exponent bits from the traced libgcrypt-like victim;
+* :mod:`repro.attacks.double_page_fault` -- the internal-collision scan of
+  Hund et al., recovering the victim's secret page;
+* :mod:`repro.attacks.covert_channel` -- a Prime + Probe covert channel
+  with empirical channel-capacity measurement (Equation 1).
+
+All three succeed against the standard SA TLB and are defeated by the
+Random-Fill TLB; the partition-based SP TLB stops the cross-process
+attacks.
+"""
+
+from .covert_channel import (
+    CovertChannelResult,
+    parallel_transmit,
+    random_message,
+    transmit,
+)
+from .double_page_fault import (
+    ScanResult,
+    probe_candidate,
+    scan_secret_page,
+)
+from .set_profiling import ProfilingResult, profile_secret_set
+from .prime_probe import (
+    AttackResult,
+    PrimeProbeAttacker,
+    eddsa_attack,
+    itlb_attack,
+    multi_trace_attack,
+    noisy_tlbleed_attack,
+    recover_exponent,
+    recover_secret_bits,
+    tlbleed_attack,
+)
+
+__all__ = [
+    "AttackResult",
+    "CovertChannelResult",
+    "eddsa_attack",
+    "PrimeProbeAttacker",
+    "ProfilingResult",
+    "profile_secret_set",
+    "ScanResult",
+    "probe_candidate",
+    "itlb_attack",
+    "multi_trace_attack",
+    "noisy_tlbleed_attack",
+    "parallel_transmit",
+    "random_message",
+    "recover_exponent",
+    "recover_secret_bits",
+    "scan_secret_page",
+    "tlbleed_attack",
+    "transmit",
+]

@@ -1,0 +1,309 @@
+"""Command-line interface to every experiment in the reproduction.
+
+``python -m repro <command>`` regenerates the paper's tables and figures:
+
+=============  =============================================================
+``table2``     the 24 vulnerabilities, derived from the three-step model
+``table4``     the security evaluation of the SA/SP/RF designs
+``table7``     the Appendix B extension (and its measured evaluation)
+``fig7``       the performance grid (IPC / MPKI series)
+``table5``     the area model vs the paper's synthesis results
+``mitigations``the Section 2.3 mitigation ladder (10/14/18/14/24)
+``hierarchy``  the two-level TLB security study
+``largepages`` the large-page software mitigation
+``sweeps``     the SP-partition / RF-region / replacement-policy sweeps
+``attack``     the TLBleed-style RSA key recovery demo
+``covert``     the covert-channel demo
+=============  =============================================================
+
+Full-fidelity runs (the paper's 500-trial protocol, the complete Figure 7
+grid) are available through ``--trials`` / ``--full``; defaults are sized
+for interactive use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.model import (
+        candidate_patterns,
+        count_survivors_by_rule,
+        derive_vulnerabilities,
+        enumerate_triples,
+        format_table,
+        table2_vulnerabilities,
+    )
+
+    if args.verbose:
+        for rule, count in count_survivors_by_rule(enumerate_triples()).items():
+            print(f"{rule:32} -> {count:4}")
+        print(f"candidates: {len(candidate_patterns())}")
+    derived = derive_vulnerabilities()
+    print(format_table(derived))
+    match = set(derived) == set(table2_vulnerabilities())
+    print(f"\nexact match with the paper's Table 2: {match}")
+    return 0 if match else 1
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.security import (
+        EvaluationConfig,
+        SecurityEvaluator,
+        TLBKind,
+        defended_counts,
+        format_table4,
+    )
+
+    evaluator = SecurityEvaluator(EvaluationConfig(trials=args.trials))
+    kinds = [TLBKind[name] for name in args.designs]
+    table = evaluator.evaluate_table4(kinds=kinds)
+    print(format_table4(table))
+    counts = defended_counts(table)
+    expected = {TLBKind.SA: 10, TLBKind.SP: 14, TLBKind.RF: 24}
+    ok = all(counts[kind] == expected[kind] for kind in kinds)
+    print(f"\nheadline counts match the paper: {ok}")
+    return 0 if ok else 1
+
+
+def _cmd_table7(args: argparse.Namespace) -> int:
+    from repro.model.extended import (
+        invalidation_only_vulnerabilities,
+        strategy_label,
+    )
+    from repro.security import EvaluationConfig, SecurityEvaluator, TLBKind
+
+    rows = invalidation_only_vulnerabilities()
+    print(f"extended-model vulnerabilities: {len(rows)} (paper's Table 7: 50)")
+    for vulnerability in sorted(
+        rows, key=lambda v: (strategy_label(v), v.pattern.pretty())
+    ):
+        print(f"  {strategy_label(vulnerability):48} {vulnerability.pretty()}")
+    if args.evaluate:
+        evaluator = SecurityEvaluator(EvaluationConfig(trials=args.trials))
+        print("\nmeasured defence counts under the hypothetical targeted-"
+              "invalidation ISA:")
+        for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
+            results = evaluator.evaluate_extended(kind)
+            defended = sum(1 for result in results if result.defended)
+            print(f"  {kind.value:3}: {defended}/{len(results)}")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        PerfSettings,
+        figure7,
+        format_figure7,
+        headline_ratios,
+    )
+    from repro.security import TLBKind
+
+    settings = PerfSettings(
+        spec_instructions=args.spec_instructions, key_bits=args.key_bits
+    )
+    runs = (50, 100, 150) if args.full else (args.rsa_runs,)
+    cells = figure7(
+        kinds=tuple(TLBKind[name] for name in args.designs),
+        rsa_runs=runs,
+        settings=settings,
+        config_labels=args.configs,
+    )
+    print(format_figure7(cells))
+    print("\nheadline ratios:")
+    for name, value in sorted(headline_ratios(cells).items()):
+        print(f"  {name:30} {value:.3f}")
+    return 0
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    from repro.perf import AreaModel
+
+    model = AreaModel()
+    print(model.table5())
+    worst_luts, worst_registers = model.max_relative_error()
+    print(
+        f"\nfit quality: worst LUT error {worst_luts:.1%}, "
+        f"worst register error {worst_registers:.1%}"
+    )
+    return 0
+
+
+def _cmd_mitigations(args: argparse.Namespace) -> int:
+    from repro.ablations import (
+        evaluate_all_mitigations,
+        format_mitigation_ladder,
+    )
+
+    ladder = evaluate_all_mitigations(trials=args.trials)
+    print(format_mitigation_ladder(ladder))
+    ok = all(result.matches_paper for result in ladder)
+    return 0 if ok else 1
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from repro.ablations import evaluate_hierarchies, format_hierarchy_results
+
+    results = evaluate_hierarchies(trials=args.trials)
+    print(format_hierarchy_results(results))
+    return 0
+
+
+def _cmd_largepages(args: argparse.Namespace) -> int:
+    from repro.ablations import (
+        evaluate_large_pages,
+        format_large_page_comparison,
+    )
+
+    result = evaluate_large_pages(trials=args.trials)
+    print(format_large_page_comparison(result, 10, 13))
+    return 0
+
+
+def _cmd_sweeps(args: argparse.Namespace) -> int:
+    from repro.ablations import (
+        format_partition_sweep,
+        format_region_sweep,
+        sweep_replacement_policy,
+        sweep_rf_region,
+        sweep_sp_partition,
+    )
+
+    print("== SP TLB partition split ==")
+    print(format_partition_sweep(sweep_sp_partition()))
+    print("\n== RF TLB secure-region size ==")
+    print(format_region_sweep(sweep_rf_region(trials=args.trials)))
+    print("\n== replacement policy vs TLBleed ==")
+    for point in sweep_replacement_policy():
+        print(
+            f"  {point.policy.value:8} accuracy {point.accuracy:.1%}"
+            f"{'  (full recovery)' if point.recovered_exactly else ''}"
+        )
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from repro.attacks import tlbleed_attack
+    from repro.security import TLBKind
+    from repro.workloads.rsa import generate_key
+
+    key = generate_key(bits=args.key_bits, seed=args.seed)
+    for name in args.designs:
+        result = tlbleed_attack(TLBKind[name], key=key, seed=args.seed)
+        print(f"== {name} TLB ==")
+        print(f"true d    : {result.true_bits}")
+        print(f"recovered : {result.recovered_bits}")
+        print(
+            f"accuracy  : {result.accuracy:.1%}"
+            f"{'  (FULL KEY RECOVERED)' if result.recovered_exactly else ''}\n"
+        )
+    return 0
+
+
+def _cmd_covert(args: argparse.Namespace) -> int:
+    from repro.attacks import random_message, transmit
+    from repro.security import TLBKind
+
+    message = random_message(args.bits, seed=args.seed)
+    for name in args.designs:
+        result = transmit(message, TLBKind[name], seed=args.seed)
+        print(
+            f"{name:3}: BER {result.bit_error_rate:6.1%}  "
+            f"capacity {result.empirical_capacity():.3f} b/symbol  "
+            f"rate {result.bits_per_kilocycle:.2f} b/kcycle"
+        )
+    return 0
+
+
+def _add_design_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--designs",
+        nargs="+",
+        choices=["SA", "SP", "RF"],
+        default=["SA", "SP", "RF"],
+        help="TLB designs to run (default: all three)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Secure TLBs' (ISCA 2019)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table2 = subparsers.add_parser("table2", help="derive the 24 vulnerabilities")
+    table2.add_argument("--verbose", action="store_true")
+    table2.set_defaults(func=_cmd_table2)
+
+    table4 = subparsers.add_parser("table4", help="security evaluation")
+    table4.add_argument("--trials", type=int, default=100)
+    _add_design_argument(table4)
+    table4.set_defaults(func=_cmd_table4)
+
+    table7 = subparsers.add_parser("table7", help="Appendix B extension")
+    table7.add_argument("--evaluate", action="store_true")
+    table7.add_argument("--trials", type=int, default=60)
+    table7.set_defaults(func=_cmd_table7)
+
+    fig7 = subparsers.add_parser("fig7", help="performance evaluation")
+    fig7.add_argument("--rsa-runs", type=int, default=10)
+    fig7.add_argument("--spec-instructions", type=int, default=80_000)
+    fig7.add_argument("--key-bits", type=int, default=64)
+    fig7.add_argument("--configs", nargs="+", default=None)
+    fig7.add_argument("--full", action="store_true",
+                      help="the paper's 50/100/150 decryption series")
+    _add_design_argument(fig7)
+    fig7.set_defaults(func=_cmd_fig7)
+
+    table5 = subparsers.add_parser("table5", help="area model")
+    table5.set_defaults(func=_cmd_table5)
+
+    mitigations = subparsers.add_parser(
+        "mitigations", help="Section 2.3 mitigation ladder"
+    )
+    mitigations.add_argument("--trials", type=int, default=60)
+    mitigations.set_defaults(func=_cmd_mitigations)
+
+    hierarchy = subparsers.add_parser(
+        "hierarchy", help="two-level TLB hierarchy security study"
+    )
+    hierarchy.add_argument("--trials", type=int, default=40)
+    hierarchy.set_defaults(func=_cmd_hierarchy)
+
+    largepages = subparsers.add_parser(
+        "largepages", help="large-page software mitigation"
+    )
+    largepages.add_argument("--trials", type=int, default=40)
+    largepages.set_defaults(func=_cmd_largepages)
+
+    sweeps = subparsers.add_parser("sweeps", help="design-space sweeps")
+    sweeps.add_argument("--trials", type=int, default=80)
+    sweeps.set_defaults(func=_cmd_sweeps)
+
+    attack = subparsers.add_parser("attack", help="TLBleed key recovery")
+    attack.add_argument("--key-bits", type=int, default=64)
+    attack.add_argument("--seed", type=int, default=2019)
+    _add_design_argument(attack)
+    attack.set_defaults(func=_cmd_attack)
+
+    covert = subparsers.add_parser("covert", help="covert channel")
+    covert.add_argument("--bits", type=int, default=200)
+    covert.add_argument("--seed", type=int, default=1)
+    _add_design_argument(covert)
+    covert.set_defaults(func=_cmd_covert)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""RISC-V-flavoured processor substrate.
+
+* :mod:`repro.isa.assembler` -- two-pass assembler for the micro-benchmark
+  dialect of Figure 6 (``ldnorm``/``ldrand``, CSR accesses, branches,
+  ``sfence.vma``, data directives);
+* :mod:`repro.isa.cpu` -- an in-order, cycle-approximate CPU wired to a TLB
+  and a page-table walker, exposing the ``process_id``/``sbase``/``ssize``
+  control registers and the ``tlb_miss_count``/``cycle``/``instret``
+  counters the benchmarks read;
+* :mod:`repro.isa.memory` -- sparse 64-bit-word physical memory.
+"""
+
+from .assembler import AssemblyError, DATA_BASE, Program, assemble
+from .cpu import (
+    CPU,
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    ExecutionStatus,
+    ProtectionFault,
+)
+from .csr import CSR_ADDRESSES, CSRError, CSRFile
+from .disassembler import disassemble, disassemble_instruction
+from .instructions import Instruction, REGISTER_NAMES
+from .memory import Memory, MisalignedAccess
+
+__all__ = [
+    "AssemblyError",
+    "CPU",
+    "CSRError",
+    "CSRFile",
+    "CSR_ADDRESSES",
+    "DATA_BASE",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "ExecutionStatus",
+    "Instruction",
+    "Memory",
+    "MisalignedAccess",
+    "Program",
+    "ProtectionFault",
+    "REGISTER_NAMES",
+    "assemble",
+    "disassemble",
+    "disassemble_instruction",
+]

@@ -1,0 +1,338 @@
+"""Two-pass assembler for the benchmark dialect.
+
+Grammar (one statement per line, ``#`` comments):
+
+* ``label:`` -- a text or data label, depending on the current section;
+* ``.text`` / ``.data`` -- section switches (``.text`` is the default);
+* ``.org ADDRESS`` -- (data section) move the placement cursor, letting the
+  benchmark generator put arrays on chosen pages;
+* ``.dword V1[, V2...]`` -- (data section) place 64-bit words;
+* ``.zero N`` -- (data section) skip N bytes;
+* instructions, e.g. ``ldnorm x2, 0(x1)``, ``csrw process_id, 1``,
+  ``beq x3, x4, no_tlb_miss``, ``la x1, tdat2048``, ``sfence.vma`` or
+  ``sfence.vma x1, x2``.
+
+The output :class:`Program` carries the instruction list, branch labels,
+data symbols, and the initial data image (virtual address -> 64-bit value).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .instructions import (
+    ALL_MNEMONICS,
+    BRANCH_OPS,
+    Instruction,
+    LOAD_OPS,
+    REG_IMM_OPS,
+    REG_REG_OPS,
+    REGISTER_NAMES,
+    STORE_OPS,
+    TERMINATORS,
+)
+
+#: Default placement of the data section (page 16).
+DATA_BASE = 0x10_000
+WORD = 8
+
+
+class AssemblyError(Exception):
+    """A syntax or semantic error, annotated with the source line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass
+class Program:
+    """An assembled program ready for :class:`repro.isa.cpu.CPU`."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    #: Text label -> instruction index.
+    labels: Dict[str, int] = field(default_factory=dict)
+    #: Data symbol -> virtual byte address.
+    symbols: Dict[str, int] = field(default_factory=dict)
+    #: Initial data image: virtual byte address -> 64-bit value.
+    data: Dict[int, int] = field(default_factory=dict)
+    source: str = ""
+
+    def label_target(self, name: str, line: int = 0) -> int:
+        try:
+            return self.labels[name]
+        except KeyError:
+            raise AssemblyError(f"undefined label {name!r}", line) from None
+
+    def symbol_address(self, name: str, line: int = 0) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblyError(f"undefined data symbol {name!r}", line) from None
+
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((\w+)\)$")
+_LABEL = re.compile(r"^([A-Za-z_]\w*):\s*(.*)$")
+
+
+def _register(token: str, line: int) -> int:
+    try:
+        return REGISTER_NAMES[token]
+    except KeyError:
+        raise AssemblyError(f"unknown register {token!r}", line) from None
+
+
+def _integer(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected integer, got {token!r}", line) from None
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+def assemble(text: str, data_base: int = DATA_BASE) -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    program = Program(source=text)
+    section = ".text"
+    cursor = data_base
+    pending_data_labels: List[str] = []
+
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        label_match = _LABEL.match(line)
+        if label_match:
+            name = label_match.group(1)
+            if section == ".text":
+                if name in program.labels:
+                    raise AssemblyError(f"duplicate label {name!r}", line_number)
+                program.labels[name] = len(program.instructions)
+            else:
+                pending_data_labels.append(name)
+            line = label_match.group(2).strip()
+            if not line:
+                continue
+
+        if line.startswith("."):
+            section, cursor = _directive(
+                line, section, cursor, program, pending_data_labels, line_number
+            )
+            continue
+
+        if section != ".text":
+            # Data definitions without a leading dot (label handled above).
+            raise AssemblyError(
+                f"unexpected statement in data section: {line!r}", line_number
+            )
+
+        program.instructions.append(_instruction(line, line_number))
+
+    if pending_data_labels:
+        # Labels at the very end of the data section point at the cursor.
+        for name in pending_data_labels:
+            program.symbols[name] = cursor
+    _check_references(program)
+    return program
+
+
+def _directive(
+    line: str,
+    section: str,
+    cursor: int,
+    program: Program,
+    pending_labels: List[str],
+    line_number: int,
+) -> Tuple[str, int]:
+    parts = line.split(None, 1)
+    name = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+
+    if name in (".text", ".data"):
+        return name, cursor
+
+    if section != ".data":
+        raise AssemblyError(f"{name} only valid in .data", line_number)
+
+    if name == ".org":
+        cursor = _integer(rest.strip(), line_number)
+        if cursor % WORD:
+            raise AssemblyError(".org must be 8-byte aligned", line_number)
+    elif name == ".dword":
+        for label in pending_labels:
+            program.symbols[label] = cursor
+        pending_labels.clear()
+        for token in _split_operands(rest):
+            program.data[cursor] = _integer(token, line_number) % (1 << 64)
+            cursor += WORD
+    elif name == ".zero":
+        for label in pending_labels:
+            program.symbols[label] = cursor
+        pending_labels.clear()
+        size = _integer(rest.strip(), line_number)
+        if size < 0 or size % WORD:
+            raise AssemblyError(".zero needs a non-negative multiple of 8", line_number)
+        cursor += size
+    else:
+        raise AssemblyError(f"unknown directive {name}", line_number)
+    return section, cursor
+
+
+def _instruction(line: str, line_number: int) -> Instruction:
+    parts = line.split(None, 1)
+    mnemonic = parts[0]
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(rest)
+
+    if mnemonic not in ALL_MNEMONICS:
+        raise AssemblyError(f"unknown mnemonic {mnemonic!r}", line_number)
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise AssemblyError(
+                f"{mnemonic} expects {count} operands, got {len(operands)}",
+                line_number,
+            )
+
+    if mnemonic in REG_REG_OPS:
+        need(3)
+        return Instruction(
+            mnemonic,
+            rd=_register(operands[0], line_number),
+            rs1=_register(operands[1], line_number),
+            rs2=_register(operands[2], line_number),
+            line=line_number,
+        )
+
+    if mnemonic in REG_IMM_OPS:
+        need(3)
+        return Instruction(
+            mnemonic,
+            rd=_register(operands[0], line_number),
+            rs1=_register(operands[1], line_number),
+            imm=_integer(operands[2], line_number),
+            line=line_number,
+        )
+
+    if mnemonic in LOAD_OPS or mnemonic in STORE_OPS:
+        need(2)
+        reg = _register(operands[0], line_number)
+        match = _MEM_OPERAND.match(operands[1])
+        if not match:
+            raise AssemblyError(
+                f"memory operand must look like 0(x1), got {operands[1]!r}",
+                line_number,
+            )
+        offset = _integer(match.group(1), line_number)
+        base = _register(match.group(2), line_number)
+        if mnemonic in LOAD_OPS:
+            return Instruction(
+                mnemonic, rd=reg, rs1=base, imm=offset, line=line_number
+            )
+        return Instruction(
+            mnemonic, rs2=reg, rs1=base, imm=offset, line=line_number
+        )
+
+    if mnemonic in BRANCH_OPS:
+        need(3)
+        return Instruction(
+            mnemonic,
+            rs1=_register(operands[0], line_number),
+            rs2=_register(operands[1], line_number),
+            symbol=operands[2],
+            line=line_number,
+        )
+
+    if mnemonic == "li":
+        need(2)
+        return Instruction(
+            mnemonic,
+            rd=_register(operands[0], line_number),
+            imm=_integer(operands[1], line_number),
+            line=line_number,
+        )
+
+    if mnemonic == "mv":
+        need(2)
+        return Instruction(
+            mnemonic,
+            rd=_register(operands[0], line_number),
+            rs1=_register(operands[1], line_number),
+            line=line_number,
+        )
+
+    if mnemonic == "la":
+        need(2)
+        return Instruction(
+            mnemonic,
+            rd=_register(operands[0], line_number),
+            symbol=operands[1],
+            line=line_number,
+        )
+
+    if mnemonic == "j":
+        need(1)
+        return Instruction(mnemonic, symbol=operands[0], line=line_number)
+
+    if mnemonic == "csrw":
+        need(2)
+        return Instruction(
+            mnemonic,
+            csr=operands[0],
+            rs1=_register_or_none(operands[1]),
+            imm=None if _register_or_none(operands[1]) is not None
+            else _integer(operands[1], line_number),
+            line=line_number,
+        )
+
+    if mnemonic == "csrwi":
+        need(2)
+        return Instruction(
+            mnemonic,
+            csr=operands[0],
+            imm=_integer(operands[1], line_number),
+            line=line_number,
+        )
+
+    if mnemonic == "csrr":
+        need(2)
+        return Instruction(
+            mnemonic,
+            rd=_register(operands[0], line_number),
+            csr=operands[1],
+            line=line_number,
+        )
+
+    if mnemonic == "sfence.vma":
+        if len(operands) > 2:
+            raise AssemblyError("sfence.vma takes at most 2 operands", line_number)
+        rs1 = _register(operands[0], line_number) if len(operands) >= 1 else None
+        rs2 = _register(operands[1], line_number) if len(operands) == 2 else None
+        return Instruction(mnemonic, rs1=rs1, rs2=rs2, line=line_number)
+
+    if mnemonic in TERMINATORS or mnemonic == "nop":
+        need(0)
+        return Instruction(mnemonic, line=line_number)
+
+    raise AssemblyError(f"unhandled mnemonic {mnemonic!r}", line_number)  # pragma: no cover
+
+
+def _register_or_none(token: str) -> Optional[int]:
+    return REGISTER_NAMES.get(token)
+
+
+def _check_references(program: Program) -> None:
+    """Fail fast on dangling branch labels and data symbols."""
+    for instruction in program.instructions:
+        if instruction.symbol is None:
+            continue
+        if instruction.mnemonic in BRANCH_OPS or instruction.mnemonic == "j":
+            program.label_target(instruction.symbol, instruction.line)
+        elif instruction.mnemonic == "la":
+            program.symbol_address(instruction.symbol, instruction.line)

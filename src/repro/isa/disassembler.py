@@ -1,0 +1,120 @@
+"""Disassembler: turn an assembled :class:`Program` back into source text.
+
+Useful for inspecting generated security benchmarks and for round-trip
+testing the assembler (``assemble(disassemble(p))`` reproduces ``p``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .assembler import Program
+from .instructions import (
+    BRANCH_OPS,
+    Instruction,
+    LOAD_OPS,
+    REG_IMM_OPS,
+    REG_REG_OPS,
+    STORE_OPS,
+    TERMINATORS,
+)
+
+WORD = 8
+
+
+def _reg(index: int) -> str:
+    return f"x{index}"
+
+
+def disassemble_instruction(instruction: Instruction) -> str:
+    """Render one instruction as assembler-accepted text."""
+    mnemonic = instruction.mnemonic
+    if mnemonic in REG_REG_OPS:
+        return (
+            f"{mnemonic} {_reg(instruction.rd)}, {_reg(instruction.rs1)}, "
+            f"{_reg(instruction.rs2)}"
+        )
+    if mnemonic in REG_IMM_OPS:
+        return (
+            f"{mnemonic} {_reg(instruction.rd)}, {_reg(instruction.rs1)}, "
+            f"{instruction.imm}"
+        )
+    if mnemonic in LOAD_OPS:
+        return (
+            f"{mnemonic} {_reg(instruction.rd)}, "
+            f"{instruction.imm}({_reg(instruction.rs1)})"
+        )
+    if mnemonic in STORE_OPS:
+        return (
+            f"{mnemonic} {_reg(instruction.rs2)}, "
+            f"{instruction.imm}({_reg(instruction.rs1)})"
+        )
+    if mnemonic in BRANCH_OPS:
+        return (
+            f"{mnemonic} {_reg(instruction.rs1)}, {_reg(instruction.rs2)}, "
+            f"{instruction.symbol}"
+        )
+    if mnemonic == "li":
+        return f"li {_reg(instruction.rd)}, {instruction.imm}"
+    if mnemonic == "mv":
+        return f"mv {_reg(instruction.rd)}, {_reg(instruction.rs1)}"
+    if mnemonic == "la":
+        return f"la {_reg(instruction.rd)}, {instruction.symbol}"
+    if mnemonic == "j":
+        return f"j {instruction.symbol}"
+    if mnemonic == "csrr":
+        return f"csrr {_reg(instruction.rd)}, {instruction.csr}"
+    if mnemonic in ("csrw", "csrwi"):
+        operand = (
+            _reg(instruction.rs1)
+            if instruction.rs1 is not None
+            else str(instruction.imm)
+        )
+        return f"{mnemonic} {instruction.csr}, {operand}"
+    if mnemonic == "sfence.vma":
+        parts = ["sfence.vma"]
+        if instruction.rs1 is not None:
+            operands = [_reg(instruction.rs1)]
+            if instruction.rs2 is not None:
+                operands.append(_reg(instruction.rs2))
+            parts.append(", ".join(operands))
+        return " ".join(parts)
+    if mnemonic in TERMINATORS or mnemonic == "nop":
+        return mnemonic
+    raise ValueError(f"cannot disassemble {instruction}")  # pragma: no cover
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program (text labels, instructions, data section)."""
+    labels_at: Dict[int, List[str]] = {}
+    for name, index in program.labels.items():
+        labels_at.setdefault(index, []).append(name)
+
+    lines: List[str] = []
+    for index, instruction in enumerate(program.instructions):
+        for name in sorted(labels_at.get(index, [])):
+            lines.append(f"{name}:")
+        lines.append(disassemble_instruction(instruction))
+    for name in sorted(labels_at.get(len(program.instructions), [])):
+        lines.append(f"{name}:")
+
+    if program.data or program.symbols:
+        lines.append(".data")
+        symbols_at: Dict[int, List[str]] = {}
+        for name, address in program.symbols.items():
+            symbols_at.setdefault(address, []).append(name)
+        cursor = None
+        for address in sorted(set(program.data) | set(symbols_at)):
+            if cursor != address:
+                lines.append(f".org {address:#x}")
+            for name in sorted(symbols_at.get(address, [])):
+                lines.append(f"{name}:")
+            if address in program.data:
+                lines.append(f".dword {program.data[address]}")
+                cursor = address + WORD
+            else:
+                # A label with no stored word: bind it in place (labels
+                # otherwise attach to the next .dword, after any .org).
+                lines.append(".zero 0")
+                cursor = address
+    return "\n".join(lines) + "\n"

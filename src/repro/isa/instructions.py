@@ -1,0 +1,106 @@
+"""Instruction representation for the benchmark assembly dialect.
+
+The micro security benchmarks (Figure 6) are small RISC-V test programs.
+This reproduction interprets a compact dialect covering everything those
+programs need: integer arithmetic, branches, 64-bit loads/stores (including
+the paper's ``ldnorm``/``ldrand`` spellings -- the RF TLB decides normal
+versus random-fill handling from the *address*, so both execute as loads),
+CSR accesses (``process_id``, ``sbase``, ``ssize``, ``tlb_miss_count``,
+``cycle``, ``instret``), ``sfence.vma`` flavours, and the test-harness
+markers ``pass``/``fail``/``halt``.
+
+One flexible record represents every instruction; the assembler fills in
+whichever fields the mnemonic uses and the CPU dispatches on the mnemonic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+#: Mnemonics with register-register arithmetic semantics.
+REG_REG_OPS = {"add", "sub", "and", "or", "xor"}
+#: Mnemonics with register-immediate semantics.
+REG_IMM_OPS = {"addi", "andi", "ori", "xori", "slli", "srli"}
+#: Memory operations (all 64-bit).  ``ldnorm``/``ldrand`` are the paper's
+#: benchmark spellings for loads hitting non-secure/secure pages.
+LOAD_OPS = {"ld", "ldnorm", "ldrand"}
+STORE_OPS = {"sd"}
+#: Conditional branches.
+BRANCH_OPS = {"beq", "bne", "blt", "bge"}
+#: Control markers ending a test.
+TERMINATORS = {"halt", "pass", "fail"}
+
+ALL_MNEMONICS = (
+    REG_REG_OPS
+    | REG_IMM_OPS
+    | LOAD_OPS
+    | STORE_OPS
+    | BRANCH_OPS
+    | TERMINATORS
+    | {"li", "mv", "la", "nop", "j", "csrw", "csrr", "csrwi", "sfence.vma"}
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    Fields not used by a mnemonic are ``None``; the assembler guarantees
+    that the used ones are present, so the CPU does not re-validate.
+    """
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    #: Branch/jump target or ``la`` data symbol.
+    symbol: Optional[str] = None
+    #: CSR name for csrw/csrr/csrwi.
+    csr: Optional[str] = None
+    #: 1-based source line, for diagnostics.
+    line: int = 0
+
+    def is_memory_op(self) -> bool:
+        return self.mnemonic in LOAD_OPS or self.mnemonic in STORE_OPS
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.mnemonic]
+        for field in ("rd", "rs1", "rs2", "imm", "symbol", "csr"):
+            value = getattr(self, field)
+            if value is not None:
+                parts.append(f"{field}={value}")
+        return " ".join(parts)
+
+
+#: Register ABI names accepted by the assembler, mapped to indices.
+REGISTER_NAMES = {}
+for _index in range(32):
+    REGISTER_NAMES[f"x{_index}"] = _index
+REGISTER_NAMES.update(
+    {
+        "zero": 0,
+        "ra": 1,
+        "sp": 2,
+        "gp": 3,
+        "tp": 4,
+        "t0": 5,
+        "t1": 6,
+        "t2": 7,
+        "s0": 8,
+        "fp": 8,
+        "s1": 9,
+        "a0": 10,
+        "a1": 11,
+        "a2": 12,
+        "a3": 13,
+        "a4": 14,
+        "a5": 15,
+        "a6": 16,
+        "a7": 17,
+    }
+)
+REGISTER_NAMES.update({f"s{_i}": 16 + _i for _i in range(2, 12)})
+REGISTER_NAMES.update({f"t{_i}": 25 + _i for _i in range(3, 7)})

@@ -1,0 +1,72 @@
+"""Sv39 virtual address helpers.
+
+The RISC-V Rocket Core used by the paper implements the Sv39 virtual memory
+scheme: 39-bit virtual addresses, 4 KiB pages, and a three-level radix page
+table with 9 VPN bits per level.  These helpers split and recompose
+addresses; the simulators mostly work on virtual page numbers (VPNs)
+directly, with byte addresses appearing at the ISA boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: log2 of the page size (4 KiB pages throughout the paper).
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+
+#: Sv39 parameters: three levels of 9 VPN bits each.
+LEVELS = 3
+VPN_BITS_PER_LEVEL = 9
+ENTRIES_PER_TABLE = 1 << VPN_BITS_PER_LEVEL
+VA_BITS = PAGE_BITS + LEVELS * VPN_BITS_PER_LEVEL  # 39
+
+#: Highest representable VPN (27 bits of VPN in Sv39).
+MAX_VPN = (1 << (LEVELS * VPN_BITS_PER_LEVEL)) - 1
+
+
+def page_offset(address: int) -> int:
+    """The within-page byte offset of a virtual address."""
+    return address & (PAGE_SIZE - 1)
+
+
+def vpn_of(address: int) -> int:
+    """The virtual page number containing a byte address."""
+    _check_address(address)
+    return address >> PAGE_BITS
+
+
+def address_of(vpn: int, offset: int = 0) -> int:
+    """Compose a byte address from a VPN and page offset."""
+    _check_vpn(vpn)
+    if not 0 <= offset < PAGE_SIZE:
+        raise ValueError(f"offset {offset:#x} outside the page")
+    return (vpn << PAGE_BITS) | offset
+
+
+def vpn_levels(vpn: int) -> Tuple[int, int, int]:
+    """Split a VPN into its (vpn[2], vpn[1], vpn[0]) radix indices,
+    root-level first, as a page-table walk consumes them."""
+    _check_vpn(vpn)
+    level0 = vpn & (ENTRIES_PER_TABLE - 1)
+    level1 = (vpn >> VPN_BITS_PER_LEVEL) & (ENTRIES_PER_TABLE - 1)
+    level2 = vpn >> (2 * VPN_BITS_PER_LEVEL)
+    return (level2, level1, level0)
+
+
+def vpn_from_levels(level2: int, level1: int, level0: int) -> int:
+    """Inverse of :func:`vpn_levels`."""
+    for name, index in (("vpn[2]", level2), ("vpn[1]", level1), ("vpn[0]", level0)):
+        if not 0 <= index < ENTRIES_PER_TABLE:
+            raise ValueError(f"{name}={index} outside radix range")
+    return (level2 << (2 * VPN_BITS_PER_LEVEL)) | (level1 << VPN_BITS_PER_LEVEL) | level0
+
+
+def _check_vpn(vpn: int) -> None:
+    if not 0 <= vpn <= MAX_VPN:
+        raise ValueError(f"VPN {vpn:#x} outside Sv39's 27-bit range")
+
+
+def _check_address(address: int) -> None:
+    if not 0 <= address < (1 << VA_BITS):
+        raise ValueError(f"address {address:#x} outside Sv39's 39-bit range")

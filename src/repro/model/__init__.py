@@ -1,0 +1,120 @@
+"""The three-step TLB vulnerability model (Sections 3, 5.2, Appendices A/B).
+
+Public surface of the paper's primary modeling contribution:
+
+* :mod:`repro.model.states` -- the TLB-block states (Table 1 / Table 6);
+* :mod:`repro.model.patterns` -- three-step patterns, observations, and the
+  Table 2 taxonomy (macro types, attack strategies, literature mapping);
+* :mod:`repro.model.reduction` -- the symbolic reduction script of
+  Section 3.3 (rules 1-6);
+* :mod:`repro.model.effectiveness` -- the mechanized effectiveness analysis
+  (rule 7 and the fast/slow assignment) that derives exactly Table 2;
+* :mod:`repro.model.table2` -- the paper's Table 2, transcribed, as ground
+  truth for verification;
+* :mod:`repro.model.extended` -- the Appendix B model with targeted
+  invalidations (Tables 6/7);
+* :mod:`repro.model.soundness` -- Algorithm 1 (beta-step reduction);
+* :mod:`repro.model.capacity` -- channel capacity (Equation 1).
+"""
+
+from .capacity import ChannelEstimate, channel_capacity
+from .estimation import (
+    capacity_bounds,
+    significantly_leaky,
+    two_proportion_z,
+    wilson_interval,
+)
+from .effectiveness import (
+    MAPPED_RELATIONS,
+    Relation,
+    analyze,
+    applicable_relations,
+    derive_vulnerabilities,
+    step3_timings,
+)
+from .extended import (
+    derive_extended_vulnerabilities,
+    invalidation_only_vulnerabilities,
+    strategy_label,
+)
+from .patterns import (
+    MacroType,
+    Observation,
+    Strategy,
+    ThreeStepPattern,
+    Vulnerability,
+    format_table,
+)
+from .report import derivation_report, explain
+from .reduction import (
+    candidate_patterns,
+    count_survivors_by_rule,
+    enumerate_triples,
+    passes_symbolic_rules,
+)
+from .soundness import (
+    effective_vulnerabilities,
+    is_effective,
+    reduce_pattern,
+)
+from .states import (
+    BASE_STATES,
+    EXTENDED_ONLY_STATES,
+    EXTENDED_STATES,
+    Actor,
+    AddressClass,
+    Operation,
+    State,
+    state_by_name,
+)
+from .table2 import (
+    PAPER_DEFENCE_CLAIMS,
+    TABLE2_ROWS,
+    table2_expected_classification,
+    table2_vulnerabilities,
+)
+
+__all__ = [
+    "Actor",
+    "AddressClass",
+    "BASE_STATES",
+    "ChannelEstimate",
+    "EXTENDED_ONLY_STATES",
+    "EXTENDED_STATES",
+    "MAPPED_RELATIONS",
+    "MacroType",
+    "Observation",
+    "Operation",
+    "PAPER_DEFENCE_CLAIMS",
+    "Relation",
+    "State",
+    "Strategy",
+    "TABLE2_ROWS",
+    "ThreeStepPattern",
+    "Vulnerability",
+    "analyze",
+    "applicable_relations",
+    "candidate_patterns",
+    "capacity_bounds",
+    "channel_capacity",
+    "count_survivors_by_rule",
+    "derivation_report",
+    "derive_extended_vulnerabilities",
+    "derive_vulnerabilities",
+    "effective_vulnerabilities",
+    "enumerate_triples",
+    "explain",
+    "format_table",
+    "invalidation_only_vulnerabilities",
+    "is_effective",
+    "passes_symbolic_rules",
+    "reduce_pattern",
+    "significantly_leaky",
+    "state_by_name",
+    "step3_timings",
+    "strategy_label",
+    "two_proportion_z",
+    "table2_expected_classification",
+    "wilson_interval",
+    "table2_vulnerabilities",
+]

@@ -1,0 +1,295 @@
+"""Mechanized effectiveness analysis of candidate three-step patterns.
+
+The paper reduces the symbolic candidate set to the final 24 vulnerabilities
+of Table 2 "manually", guided by rule 7 (an observation must correspond to a
+*unique* hypothesis about the victim's sensitive translation).  This module
+mechanizes that step by executing every candidate pattern on an abstract
+single-TLB-block automaton under each possible relation between the secret
+page ``u`` and the attacker-known addresses, then checking which Step-3
+timing observations are informative and unambiguous.
+
+Abstract machine
+----------------
+
+The model tracks two blocks:
+
+* the **tested block** -- the block the known addresses ``a``, ``a_alias``
+  and ``d`` map to, and to which ``u`` also maps under the "mapped"
+  hypotheses;
+* a **shadow block** -- the block ``u`` maps to under the "different block"
+  hypothesis.  Operations on known addresses never touch it.
+
+Because Step 1 may leave prior state unresolved (e.g. a targeted
+invalidation of ``a`` only proves the block does not hold ``a``), block
+contents are tracked as *sets of possible tags*; a step's timing is the set
+of timings possible over those contents.  The derivation model is
+process-ID-blind: Table 2 characterizes the *structure's* vulnerabilities
+against the weakest TLB, and whether a concrete design (SA with ASIDs, SP,
+RF) actually defends each row is established by the simulation harness in
+:mod:`repro.security`.
+
+Hypotheses (relations)
+----------------------
+
+=============  ==============================================================
+``EQ_A``       ``u`` is the known page ``a`` itself
+``EQ_ALIAS``   ``u`` is the known alias page (same block, different page)
+``SAME_SET``   ``u`` maps to the tested block but equals no known page
+``DIFF``       ``u`` maps to a different block entirely
+=============  ==============================================================
+
+The first three form the "maps to the tested block" side of Table 3.  A
+``(pattern, observation)`` pair is an effective vulnerability iff the set of
+relations under which that observation can occur is non-empty, occurs
+*deterministically* under each of them, and is a subset of the mapped side
+(so observing it lets the attacker infer, unambiguously, that the victim's
+secret translation collides with what the attacker tests -- rule 7).  The
+"different block" hypothesis is always possible, so the complement is never
+empty and the observation is always informative.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from .patterns import Observation, ThreeStepPattern, Vulnerability
+from .reduction import candidate_patterns
+from .states import AddressClass, BASE_STATES, Operation, State
+
+
+class Relation(enum.Enum):
+    """Hypotheses about how the secret page ``u`` relates to known pages."""
+
+    EQ_A = "u == a"
+    EQ_ALIAS = "u == a_alias"
+    SAME_SET = "u maps to the tested block, distinct from known pages"
+    DIFF = "u maps to a different block"
+
+
+#: The relations under which the victim's access "maps" in Table 3's sense.
+MAPPED_RELATIONS: FrozenSet[Relation] = frozenset(
+    {Relation.EQ_A, Relation.EQ_ALIAS, Relation.SAME_SET}
+)
+
+
+class Tag(enum.Enum):
+    """Possible contents of a block: a translation's identity, or invalid."""
+
+    A = "a"
+    A_ALIAS = "a_alias"
+    D = "d"
+    U = "u"
+    OTHER = "other"
+    INVALID = "invalid"
+
+
+_TESTED, _SHADOW = 0, 1
+
+_ADDRESS_TAGS = {
+    AddressClass.A: Tag.A,
+    AddressClass.A_ALIAS: Tag.A_ALIAS,
+    AddressClass.D: Tag.D,
+}
+
+
+def _resolve(address: AddressClass, relation: Relation) -> Tuple[int, Tag]:
+    """Map an address class to (block index, concrete tag) under a relation."""
+    if address in _ADDRESS_TAGS:
+        return _TESTED, _ADDRESS_TAGS[address]
+    if address is not AddressClass.U:  # pragma: no cover - guarded upstream
+        raise ValueError(f"address class {address} names no page")
+    if relation is Relation.EQ_A:
+        return _TESTED, Tag.A
+    if relation is Relation.EQ_ALIAS:
+        return _TESTED, Tag.A_ALIAS
+    if relation is Relation.SAME_SET:
+        return _TESTED, Tag.U
+    return _SHADOW, Tag.U
+
+
+def _initial_contents(relation: Relation) -> List[Set[Tag]]:
+    """Unknown initial state: any translation, or no translation, per block.
+
+    Under the mapped hypotheses ``u`` can only be resident in the tested
+    block (represented by its resolved tag); under ``DIFF`` it can only be
+    resident in the shadow block.
+    """
+    tested = {Tag.A, Tag.A_ALIAS, Tag.D, Tag.OTHER, Tag.INVALID}
+    shadow = {Tag.OTHER, Tag.INVALID}
+    if relation is Relation.SAME_SET:
+        tested.add(Tag.U)
+    if relation is Relation.DIFF:
+        shadow.add(Tag.U)
+    return [tested, shadow]
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Possible timings of one executed step (singleton when deterministic)."""
+
+    timings: FrozenSet[Observation]
+
+    @property
+    def deterministic(self) -> bool:
+        return len(self.timings) == 1
+
+
+def _apply(
+    state: State, contents: List[Set[Tag]], relation: Relation
+) -> StepOutcome:
+    """Execute one step, mutating ``contents``; return its possible timings."""
+    if state.operation is Operation.STAR:
+        # "Any data, or no data": forget everything we know.
+        fresh = _initial_contents(relation)
+        contents[_TESTED] = fresh[_TESTED]
+        contents[_SHADOW] = fresh[_SHADOW]
+        return StepOutcome(frozenset())
+
+    if state.operation is Operation.INVALIDATE_ALL:
+        # A full flush empties every block; its timing carries no signal.
+        contents[_TESTED] = {Tag.INVALID}
+        contents[_SHADOW] = {Tag.INVALID}
+        return StepOutcome(frozenset())
+
+    block, tag = _resolve(state.address, relation)
+    content = contents[block]
+
+    if state.operation is Operation.ACCESS:
+        timings = set()
+        if tag in content:
+            timings.add(Observation.FAST)
+        if content - {tag}:
+            timings.add(Observation.SLOW)
+        contents[block] = {tag}
+        return StepOutcome(frozenset(timings))
+
+    if state.operation is Operation.INVALIDATE_TARGET:
+        # Presence check first, then (second cycle) the actual invalidation:
+        # an entry that is present makes the invalidation slow (Appendix B).
+        timings = set()
+        remaining = set(content)
+        if tag in content:
+            timings.add(Observation.SLOW)
+            remaining.discard(tag)
+            remaining.add(Tag.INVALID)
+        if content - {tag}:
+            timings.add(Observation.FAST)
+        contents[block] = remaining
+        return StepOutcome(frozenset(timings))
+
+    raise ValueError(f"unhandled operation {state.operation}")  # pragma: no cover
+
+
+def applicable_relations(pattern: ThreeStepPattern) -> Tuple[Relation, ...]:
+    """The hypotheses that are meaningful for this pattern.
+
+    ``u == a`` only makes sense when the pattern references ``a`` (and
+    likewise for the alias); otherwise those cases are indistinguishable
+    from ``SAME_SET`` and are merged into it.
+    """
+    classes = {step.address for step in pattern.steps}
+    relations = []
+    if AddressClass.A in classes:
+        relations.append(Relation.EQ_A)
+    if AddressClass.A_ALIAS in classes:
+        relations.append(Relation.EQ_ALIAS)
+    relations.extend([Relation.SAME_SET, Relation.DIFF])
+    return tuple(relations)
+
+
+def step3_timings(
+    pattern: ThreeStepPattern, relation: Relation
+) -> FrozenSet[Observation]:
+    """Possible Step-3 timings of ``pattern`` under ``relation``."""
+    contents = _initial_contents(relation)
+    outcome = StepOutcome(frozenset())
+    for state in pattern.steps:
+        outcome = _apply(state, contents, relation)
+    return outcome.timings
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One executed step of an abstract-machine trace (for explanations)."""
+
+    state: State
+    #: Possible tested-block contents after the step.
+    tested: FrozenSet[Tag]
+    #: Possible shadow-block contents after the step.
+    shadow: FrozenSet[Tag]
+    #: Possible timings of this step (empty for star / full flushes).
+    timings: FrozenSet[Observation]
+
+
+def trace_pattern(
+    pattern: ThreeStepPattern, relation: Relation
+) -> List[TraceStep]:
+    """Execute a pattern under one hypothesis, recording every step.
+
+    The report generator uses this to show *why* a pattern is (or is not)
+    an effective vulnerability; :func:`step3_timings` is the last entry's
+    ``timings``.
+    """
+    contents = _initial_contents(relation)
+    steps = []
+    for state in pattern.steps:
+        outcome = _apply(state, contents, relation)
+        steps.append(
+            TraceStep(
+                state=state,
+                tested=frozenset(contents[_TESTED]),
+                shadow=frozenset(contents[_SHADOW]),
+                timings=outcome.timings,
+            )
+        )
+    return steps
+
+
+def analyze(pattern: ThreeStepPattern) -> Optional[Vulnerability]:
+    """Decide whether ``pattern`` is an effective vulnerability.
+
+    Returns the vulnerability (pattern + required observation) or ``None``.
+    At most one observation can qualify: the qualifying relation sets of
+    *fast* and *slow* cannot both avoid the always-possible ``DIFF``
+    hypothesis.
+    """
+    relations = applicable_relations(pattern)
+    timings: Dict[Relation, FrozenSet[Observation]] = {
+        relation: step3_timings(pattern, relation) for relation in relations
+    }
+    found: List[Vulnerability] = []
+    for observation in (Observation.FAST, Observation.SLOW):
+        consistent = {
+            relation
+            for relation, possible in timings.items()
+            if observation in possible
+        }
+        if not consistent:
+            continue
+        if not consistent <= MAPPED_RELATIONS:
+            continue  # Rule 7: the observation would be ambiguous.
+        if any(not timings[relation] == frozenset({observation}) for relation in consistent):
+            continue  # The signal must be deterministic to be exploitable.
+        found.append(Vulnerability(pattern, observation))
+    if len(found) > 1:  # pragma: no cover - impossible, see docstring
+        raise AssertionError(f"pattern {pattern} yields two observations")
+    return found[0] if found else None
+
+
+def derive_vulnerabilities(
+    states: Sequence[State] = BASE_STATES,
+) -> List[Vulnerability]:
+    """Full pipeline: symbolic reduction, then effectiveness analysis.
+
+    For the base ten states this returns exactly the 24 vulnerabilities of
+    Table 2 (asserted by the test suite); for the extended seventeen states
+    it returns the base rows plus the Appendix B families.
+    """
+    vulnerabilities = []
+    for pattern in candidate_patterns(states):
+        vulnerability = analyze(pattern)
+        if vulnerability is not None:
+            vulnerabilities.append(vulnerability)
+    return vulnerabilities

@@ -1,0 +1,253 @@
+"""Three-step patterns, observations, and classified vulnerabilities.
+
+A *pattern* is an ordered triple of TLB-block states, written in the paper as
+``Step1 ~> Step2 ~> Step3``.  A *vulnerability* is a pattern together with
+the Step-3 timing observation (``fast`` = TLB hit, ``slow`` = TLB miss, or
+for the extended model the analogous short/long invalidation timing) that
+lets the attacker infer something about the victim's secret page ``u``.
+
+The classification helpers reproduce the taxonomy of Table 2:
+
+* **macro type** -- ``I`` (internal) when Steps 2 and 3 involve only the
+  victim, ``E`` (external) otherwise; crossed with ``H`` (hit-based, the
+  informative observation is *fast*) and ``M`` (miss-based, *slow*);
+* **attack strategy** -- the coarse grouping of rows (TLB Internal
+  Collision, TLB Flush + Reload, TLB Evict + Time, TLB Prime + Probe, the
+  TLB version of Bernstein's Attack, TLB Evict + Probe, TLB Prime + Time);
+* **literature mapping** -- Internal Collision rows correspond to the
+  Double Page Fault attack [Hund et al., S&P 2013] and Prime + Probe rows
+  to TLBleed [Gras et al., USENIX Sec 2018]; all other rows were new.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from .states import Actor, Operation, State
+
+
+class Observation(enum.Enum):
+    """The Step-3 timing the attacker must observe for the attack to work."""
+
+    #: A TLB hit: the final operation completes quickly.
+    FAST = "fast"
+    #: A TLB miss: the final operation is delayed by a page-table walk.
+    SLOW = "slow"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class MacroType(enum.Enum):
+    """Table 2's four coarse vulnerability categories."""
+
+    IH = "IH"
+    EH = "EH"
+    IM = "IM"
+    EM = "EM"
+
+    @property
+    def is_internal(self) -> bool:
+        return self.value[0] == "I"
+
+    @property
+    def is_hit_based(self) -> bool:
+        return self.value[1] == "H"
+
+
+class Strategy(enum.Enum):
+    """The attack-strategy names used for the Table 2 row groups."""
+
+    INTERNAL_COLLISION = "TLB Internal Collision"
+    FLUSH_RELOAD = "TLB Flush + Reload"
+    EVICT_TIME = "TLB Evict + Time"
+    PRIME_PROBE = "TLB Prime + Probe"
+    BERNSTEIN = "TLB version of Bernstein's Attack"
+    EVICT_PROBE = "TLB Evict + Probe"
+    PRIME_TIME = "TLB Prime + Time"
+    # Extended (Appendix B) strategy families.
+    RELOAD_TIME = "TLB Reload + Time"
+    FLUSH_PROBE = "TLB Flush + Probe"
+    FLUSH_TIME = "TLB Flush + Time"
+    FLUSH_FLUSH = "TLB Flush + Flush"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ThreeStepPattern:
+    """An ordered triple of states: ``steps[0] ~> steps[1] ~> steps[2]``."""
+
+    steps: Tuple[State, State, State]
+
+    def __post_init__(self) -> None:
+        if len(self.steps) != 3:
+            raise ValueError("a three-step pattern has exactly three steps")
+
+    @classmethod
+    def of(cls, step1: State, step2: State, step3: State) -> "ThreeStepPattern":
+        return cls((step1, step2, step3))
+
+    @property
+    def step1(self) -> State:
+        return self.steps[0]
+
+    @property
+    def step2(self) -> State:
+        return self.steps[1]
+
+    @property
+    def step3(self) -> State:
+        return self.steps[2]
+
+    def actors(self) -> Tuple[Actor | None, ...]:
+        return tuple(step.actor for step in self.steps)
+
+    def uses_extended_states(self) -> bool:
+        """True if any step is a targeted invalidation (Appendix B only)."""
+        return any(
+            step.operation is Operation.INVALIDATE_TARGET for step in self.steps
+        )
+
+    def pretty(self) -> str:
+        return " ~> ".join(step.pretty() for step in self.steps)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.pretty()
+
+
+@dataclass(frozen=True)
+class Vulnerability:
+    """A pattern plus the informative Step-3 observation: one Table 2 row."""
+
+    pattern: ThreeStepPattern
+    observation: Observation
+
+    @property
+    def macro_type(self) -> MacroType:
+        """Classify per Section 3.3: I/E from the Step 2-3 actors, H/M from
+        the observation."""
+        internal = all(
+            step.actor is not Actor.ATTACKER
+            for step in (self.pattern.step2, self.pattern.step3)
+        )
+        hit_based = self.observation is Observation.FAST
+        if internal:
+            return MacroType.IH if hit_based else MacroType.IM
+        return MacroType.EH if hit_based else MacroType.EM
+
+    @property
+    def strategy(self) -> Strategy:
+        return classify_strategy(self)
+
+    @property
+    def known_attack(self) -> str | None:
+        """The previously published attack this row maps to, if any."""
+        strategy = self.strategy
+        if strategy is Strategy.INTERNAL_COLLISION:
+            return "Double Page Fault (Hund et al., IEEE S&P 2013)"
+        if strategy is Strategy.PRIME_PROBE:
+            return "TLBleed (Gras et al., USENIX Security 2018)"
+        return None
+
+    def pretty(self) -> str:
+        return f"{self.pattern.pretty()} ({self.observation.value})"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.pretty()
+
+
+def classify_strategy(vulnerability: Vulnerability) -> Strategy:
+    """Assign the Table 2 / Table 7 attack-strategy name to a vulnerability.
+
+    The grouping keys off the *shape* of the pattern:
+
+    * hit-based patterns ending in a known in-range access are collision
+      style: performed by the victim they are Internal Collision (or, when a
+      targeted invalidation is involved, Reload + Time / Flush + Probe),
+      performed by the attacker they are Flush + Reload;
+    * miss-based patterns of shape ``u ~> known ~> u`` time the victim after
+      an eviction: Evict + Time when the attacker evicts, Bernstein when the
+      victim itself does (and Flush + Time when the middle step is a
+      targeted invalidation);
+    * miss-based patterns of shape ``known ~> u ~> known`` group by who
+      performed Steps 1 and 3: Prime + Probe (A, A), Evict + Probe (V, A),
+      Prime + Time (A, V), Bernstein (V, V); targeted-invalidation probes in
+      Step 3 are the Flush + Flush family.
+    """
+    pattern = vulnerability.pattern
+    step1, step2, step3 = pattern.steps
+
+    secret_middle = step2.is_secret
+    secret_outer = step1.is_secret and step3.is_secret
+
+    if secret_outer:
+        # Shape u ~> known ~> u.
+        if step2.operation is Operation.INVALIDATE_TARGET:
+            return Strategy.FLUSH_TIME
+        if step2.is_secret:  # pragma: no cover - excluded by reduction rules
+            raise ValueError(f"degenerate pattern {pattern}")
+        if step1.operation is Operation.INVALIDATE_TARGET or (
+            step3.operation is Operation.INVALIDATE_TARGET
+        ):
+            return Strategy.RELOAD_TIME
+        if step2.actor is Actor.ATTACKER:
+            return Strategy.EVICT_TIME
+        return Strategy.BERNSTEIN
+
+    if not secret_middle:
+        # Extended-model shapes with the secret operation at an edge,
+        # e.g. V_u^inv in Step 2 are handled below; anything else that
+        # reaches here with the secret only in Step 1 is Reload + Time.
+        if step1.is_secret:
+            return Strategy.RELOAD_TIME
+        raise ValueError(f"pattern has no secret step: {pattern}")
+
+    # Shape known ~> secret ~> known.
+    if step2.operation is Operation.INVALIDATE_TARGET:
+        # The victim's secret behaviour is a targeted invalidation.
+        return Strategy.FLUSH_PROBE
+
+    if vulnerability.observation is Observation.FAST:
+        if step3.operation is Operation.INVALIDATE_TARGET:
+            return Strategy.FLUSH_PROBE
+        if step3.actor is Actor.VICTIM:
+            return Strategy.INTERNAL_COLLISION
+        return Strategy.FLUSH_RELOAD
+
+    if step3.operation is Operation.INVALIDATE_TARGET:
+        return Strategy.FLUSH_FLUSH
+
+    first = step1.actor
+    third = step3.actor
+    if first is Actor.ATTACKER and third is Actor.ATTACKER:
+        return Strategy.PRIME_PROBE
+    if first is Actor.VICTIM and third is Actor.ATTACKER:
+        return Strategy.EVICT_PROBE
+    if first is Actor.ATTACKER and third is Actor.VICTIM:
+        return Strategy.PRIME_TIME
+    return Strategy.BERNSTEIN
+
+
+def format_table(vulnerabilities: Iterable[Vulnerability]) -> str:
+    """Render vulnerabilities as a Table 2-style text table."""
+    rows = sorted(
+        vulnerabilities,
+        key=lambda v: (v.strategy.value, v.pattern.pretty()),
+    )
+    lines = [
+        f"{'Attack Strategy':34} {'Step 1':14} {'Step 2':10} "
+        f"{'Step 3':18} {'Macro':6} Known attack",
+        "-" * 100,
+    ]
+    for vuln in rows:
+        step1, step2, step3 = vuln.pattern.steps
+        lines.append(
+            f"{vuln.strategy.value:34} {step1.pretty():14} {step2.pretty():10} "
+            f"{step3.pretty() + ' (' + vuln.observation.value + ')':18} "
+            f"{vuln.macro_type.value:6} {vuln.known_attack or 'new'}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,147 @@
+"""Symbolic reduction of the 10^3 three-step combinations (Section 3.3).
+
+The paper enumerates all ``10 * 10 * 10 = 1000`` combinations of TLB-block
+states and runs a script implementing simplification rules that eliminate
+combinations which cannot lead to an attack.  This module reproduces that
+script.  The rules, numbered as in Section 3.3:
+
+1. ``*`` is not possible in Step 2 or Step 3 (an unknown state there removes
+   the attacker's information).
+2. A secret-dependent victim operation (``V_u``; in the extended model also
+   ``V_u^inv``) must appear in some step -- otherwise there is nothing to
+   learn.
+3. ``*`` directly followed by ``V_u`` cannot lead to an attack: the block
+   must be in a known state before the secret translation is placed in it.
+4. Two adjacent steps that repeat, or are both known to the attacker, are
+   redundant (they collapse to a single step, making the pattern effectively
+   shorter than three steps); likewise two adjacent secret operations.
+5. A known address ``a`` and its alias give the same information, so alias
+   states are only meaningful in Step 1 (where priming with an alias differs
+   observably from priming with ``a`` itself); combinations that differ from
+   an ``a`` pattern only by an alias in Step 2 or Step 3 are duplicates.
+6. Coarse invalidation states cannot appear in Step 2 or Step 3 (ISAs do not
+   let user space flush the TLB at a timed point mid-attack).  In the
+   extended model (Appendix B) *targeted* invalidations are allowed there.
+
+The output of this stage is the candidate set; the final fast/slow
+assignment and the disambiguation rule 7 are mechanized in
+:mod:`repro.model.effectiveness`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Sequence
+
+from .patterns import ThreeStepPattern
+from .states import BASE_STATES, Operation, State
+
+
+def enumerate_triples(states: Sequence[State] = BASE_STATES) -> Iterator[ThreeStepPattern]:
+    """Yield every ordered triple over ``states`` (1000 for the base model)."""
+    for steps in itertools.product(states, repeat=3):
+        yield ThreeStepPattern(steps)
+
+
+def rule1_no_late_star(pattern: ThreeStepPattern) -> bool:
+    """Reject patterns with ``*`` in Step 2 or Step 3."""
+    return not (pattern.step2.is_star or pattern.step3.is_star)
+
+
+def rule2_has_secret(pattern: ThreeStepPattern) -> bool:
+    """Reject patterns with no secret-dependent victim operation."""
+    return any(step.is_secret for step in pattern.steps)
+
+
+def rule3_no_star_before_secret(pattern: ThreeStepPattern) -> bool:
+    """Reject ``* ~> V_u ~> ...``: the block state before ``u`` is unknown."""
+    steps = pattern.steps
+    return not any(
+        steps[i].is_star and steps[i + 1].is_secret for i in range(2)
+    )
+
+
+def rule4_no_redundant_adjacency(pattern: ThreeStepPattern) -> bool:
+    """Reject adjacent repeated steps and adjacent known/known (or secret/
+    secret) steps -- they collapse to one step (Appendix A, Rule 3)."""
+    steps = pattern.steps
+    for first, second in zip(steps, steps[1:]):
+        if first == second:
+            return False
+        if first.is_known and second.is_known:
+            return False
+        if first.is_secret and second.is_secret:
+            return False
+    return True
+
+
+def rule5_alias_only_first(pattern: ThreeStepPattern) -> bool:
+    """Reject alias states outside Step 1 (duplicates of the ``a`` pattern)."""
+    return not (pattern.step2.is_alias or pattern.step3.is_alias)
+
+
+def rule6_invalidation_placement(pattern: ThreeStepPattern) -> bool:
+    """Reject coarse invalidations in Step 2 or Step 3.
+
+    Targeted invalidations (extended model) are permitted there; coarse
+    full-flush states are Step-1-only in both models.
+    """
+    return not any(
+        step.operation is Operation.INVALIDATE_ALL
+        for step in (pattern.step2, pattern.step3)
+    )
+
+
+#: The symbolic rules, in the order the paper presents them.
+SYMBOLIC_RULES = (
+    rule1_no_late_star,
+    rule2_has_secret,
+    rule3_no_star_before_secret,
+    rule4_no_redundant_adjacency,
+    rule5_alias_only_first,
+    rule6_invalidation_placement,
+)
+
+
+def passes_symbolic_rules(pattern: ThreeStepPattern) -> bool:
+    """True if the pattern survives every symbolic reduction rule."""
+    return all(rule(pattern) for rule in SYMBOLIC_RULES)
+
+
+def candidate_patterns(
+    states: Sequence[State] = BASE_STATES,
+) -> List[ThreeStepPattern]:
+    """Run the reduction script: enumerate all triples and keep survivors.
+
+    For the base model this reduces the 1000 combinations to the candidate
+    set handed to the effectiveness analysis (the paper's manual rule-7
+    stage, mechanized in :mod:`repro.model.effectiveness`).
+    """
+    return [
+        pattern
+        for pattern in enumerate_triples(states)
+        if passes_symbolic_rules(pattern)
+    ]
+
+
+def eliminated_by(pattern: ThreeStepPattern) -> List[str]:
+    """Names of the rules that reject ``pattern`` (empty if it survives)."""
+    return [
+        rule.__name__ for rule in SYMBOLIC_RULES if not rule(pattern)
+    ]
+
+
+def count_survivors_by_rule(
+    patterns: Iterable[ThreeStepPattern],
+) -> dict:
+    """Apply rules cumulatively and report how many patterns survive each.
+
+    Useful for reproducing the paper's narrative of the reduction from 1000
+    combinations down to the candidate set.
+    """
+    remaining = list(patterns)
+    counts = {"initial": len(remaining)}
+    for rule in SYMBOLIC_RULES:
+        remaining = [pattern for pattern in remaining if rule(pattern)]
+        counts[rule.__name__] = len(remaining)
+    return counts

@@ -1,0 +1,193 @@
+"""Appendix A: reduction of beta-step (beta > 3) patterns to three steps.
+
+The paper argues the three-step model is sound: any attack sequence of
+memory-page-related operations, however long, either contains an effective
+three-step vulnerability or contains none at all.  Algorithm 1 makes the
+argument constructive with four rules:
+
+* **Rule 1** -- a ``*`` in the middle splits the pattern in two (the
+  attacker loses track of the block state, so everything before the star is
+  a separate, shorter pattern); a trailing ``*`` is deleted.
+* **Rule 2** -- a coarse invalidation in the middle likewise splits the
+  pattern (it can only serve as the Step 1 "flush" of the second half); a
+  trailing coarse invalidation is deleted.
+* **Rule 3** -- two adjacent secret operations, or two adjacent known
+  operations, collapse to the later one (the resulting block state is the
+  same), until secret and known operations strictly alternate.
+* **Rule 4** -- scan the now-alternating segments for embedded three-step
+  windows; the pattern is effective iff some window is an effective
+  vulnerability per the Table 2 derivation.
+
+This module implements the algorithm over arbitrary-length state sequences
+and is exercised by property-based tests: reducing a random long pattern and
+checking effectiveness must agree with brute-force windowing semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from . import effectiveness
+from .patterns import ThreeStepPattern, Vulnerability
+from .states import AddressClass, Operation, STAR, State
+
+
+def _split_on(
+    steps: Sequence[State], should_split: callable
+) -> List[List[State]]:
+    """Split ``steps`` into segments at (and including, as the new Step 1)
+    every state for which ``should_split`` holds, except in position 0."""
+    segments: List[List[State]] = []
+    current: List[State] = []
+    for index, state in enumerate(steps):
+        if index > 0 and should_split(state) and current:
+            segments.append(current)
+            current = [state]
+        else:
+            current.append(state)
+    if current:
+        segments.append(current)
+    return segments
+
+
+def rule1_split_at_stars(steps: Sequence[State]) -> List[List[State]]:
+    """Split at interior stars; delete a trailing star."""
+    segments = _split_on(steps, lambda state: state.is_star)
+    cleaned = []
+    for segment in segments:
+        while segment and segment[-1].is_star:
+            segment = segment[:-1]
+        if segment:
+            cleaned.append(segment)
+    return cleaned
+
+
+def rule2_split_at_flushes(steps: Sequence[State]) -> List[List[State]]:
+    """Split at interior coarse invalidations; delete a trailing one."""
+    def is_flush(state: State) -> bool:
+        return state.operation is Operation.INVALIDATE_ALL
+
+    segments = _split_on(steps, is_flush)
+    cleaned = []
+    for segment in segments:
+        while segment and is_flush(segment[-1]):
+            segment = segment[:-1]
+        if segment:
+            cleaned.append(segment)
+    return cleaned
+
+
+def rule3_collapse_adjacent(steps: Sequence[State]) -> List[State]:
+    """Collapse runs of adjacent secret (or adjacent known) operations.
+
+    Two adjacent operations of the same knowledge class leave the block in a
+    state determined by the later one, so only the later one matters.  After
+    this rule, secret and known operations strictly alternate.
+    """
+    collapsed: List[State] = []
+    for state in steps:
+        if collapsed:
+            previous = collapsed[-1]
+            same_class = (
+                (previous.is_secret and state.is_secret)
+                or (previous.is_known and state.is_known)
+            )
+            if same_class:
+                collapsed[-1] = state
+                continue
+        collapsed.append(state)
+    return collapsed
+
+
+def canonicalize_alias(pattern: ThreeStepPattern) -> ThreeStepPattern:
+    """Apply rule 5's alias symmetry to put a pattern in Table 2 form.
+
+    ``a`` and ``a_alias`` are interchangeable labels for two known in-range
+    pages that map to the same block, so the attack is invariant under
+    swapping their roles.  Table 2's convention keeps alias states in Step 1
+    only: a pattern that references the alias but never ``a`` is renamed to
+    use ``a``, and a pattern with an alias in Step 2 or 3 has the two roles
+    swapped everywhere.
+    """
+    classes = {step.address for step in pattern.steps}
+    if AddressClass.A_ALIAS not in classes:
+        return pattern
+
+    if AddressClass.A not in classes:
+        swap = {AddressClass.A_ALIAS: AddressClass.A}
+    elif pattern.step2.is_alias or pattern.step3.is_alias:
+        swap = {
+            AddressClass.A_ALIAS: AddressClass.A,
+            AddressClass.A: AddressClass.A_ALIAS,
+        }
+    else:
+        return pattern
+
+    renamed = tuple(
+        State(step.actor, step.operation, swap.get(step.address, step.address))
+        for step in pattern.steps
+    )
+    return ThreeStepPattern(renamed)
+
+
+def rule4_effective_windows(steps: Sequence[State]) -> List[Vulnerability]:
+    """All effective three-step windows embedded in an alternating segment.
+
+    Windows are canonicalized under the alias symmetry (rule 5) so reported
+    vulnerabilities are Table 2 rows.  A segment shorter than three steps is
+    padded with a leading star (the paper's convention for two-step attacks)
+    before checking; such patterns are never effective, matching the
+    beta <= 2 analysis of Appendix A.
+    """
+    padded = list(steps)
+    while len(padded) < 3:
+        padded.insert(0, STAR)
+    found = []
+    for start in range(len(padded) - 2):
+        window = canonicalize_alias(
+            ThreeStepPattern(tuple(padded[start : start + 3]))
+        )
+        vulnerability = effectiveness.analyze(window)
+        if vulnerability is not None:
+            found.append(vulnerability)
+    return found
+
+
+def reduce_pattern(steps: Sequence[State]) -> List[List[State]]:
+    """Run Rules 1-3 of Algorithm 1, returning the alternating segments."""
+    if not steps:
+        return []
+    segments: List[List[State]] = [list(steps)]
+    # Rules 1 and 2 can expose each other's trailing states (e.g. deleting a
+    # trailing flush can leave a trailing star), so iterate to a fixpoint as
+    # Algorithm 1's "recursively checked" wording requires.
+    while True:
+        next_segments: List[List[State]] = []
+        for segment in segments:
+            for split1 in rule1_split_at_stars(segment):
+                next_segments.extend(rule2_split_at_flushes(split1))
+        if next_segments == segments:
+            break
+        segments = next_segments
+    return [rule3_collapse_adjacent(segment) for segment in segments]
+
+
+def effective_vulnerabilities(steps: Sequence[State]) -> List[Vulnerability]:
+    """Algorithm 1: the effective vulnerabilities a beta-step pattern maps to.
+
+    Empty iff the pattern cannot be used as a timing attack.
+    """
+    found: List[Vulnerability] = []
+    for segment in reduce_pattern(steps):
+        found.extend(rule4_effective_windows(segment))
+    return found
+
+
+def is_effective(steps: Sequence[State]) -> bool:
+    """True iff the beta-step pattern reduces to >= 1 effective three-step."""
+    return bool(effective_vulnerabilities(steps))
+
+
+def reduced_length(steps: Sequence[State]) -> int:
+    """Total number of steps remaining after Rules 1-3 (for analyses)."""
+    return sum(len(segment) for segment in reduce_pattern(steps))

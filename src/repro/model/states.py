@@ -1,0 +1,243 @@
+"""TLB-block states for the three-step vulnerability model.
+
+This module defines the symbolic states a single TLB block can be put in by
+one "step" of the three-step model of Deng, Xiong and Szefer, "Secure TLBs"
+(ISCA 2019).  Table 1 of the paper lists ten states for the base model and
+Table 6 (Appendix B) adds seven more states for systems that support
+*targeted* invalidation of a single address translation.
+
+A state is the combination of three ingredients:
+
+* the **actor** performing the memory-page-related operation -- the attacker
+  ``A`` or the victim ``V`` (the ``STAR`` state has no actor);
+* the **operation** -- a normal memory access (which performs an address
+  translation and may fill the block), a coarse invalidation (e.g. a full
+  TLB flush on a context switch), a targeted invalidation of one address
+  (Appendix B only), or "star", meaning the block content is unknown;
+* the **address class** the operation refers to:
+
+  - ``U``       -- the victim's secret-dependent page ``u`` inside the
+                   security-critical range ``x``; the attacker wants to learn
+                   which page ``u`` is,
+  - ``A``       -- a page ``a`` inside ``x`` whose identity the attacker
+                   knows,
+  - ``A_ALIAS`` -- a known page, distinct from ``a``, that has the same page
+                   index and therefore maps ("aliases") to the same TLB
+                   block as ``a``,
+  - ``D``       -- a known page outside the range ``x``,
+  - ``NONE``    -- no address (full flushes and the star state).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Actor(enum.Enum):
+    """Who performs a step: the attacker or the victim.
+
+    In a covert channel the "victim" is the sender and the "attacker" the
+    receiver; the model does not distinguish the two scenarios (Section 3.1).
+    """
+
+    ATTACKER = "A"
+    VICTIM = "V"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Operation(enum.Enum):
+    """The kind of memory-page-related operation a step performs."""
+
+    #: A normal memory access: translate the address, fill the block on miss.
+    ACCESS = "access"
+    #: A coarse invalidation of the block (full flush / context switch),
+    #: Table 1 states ``A_inv`` / ``V_inv``.
+    INVALIDATE_ALL = "inv"
+    #: A targeted invalidation of one specific address translation
+    #: (Appendix B, Table 6 states such as ``V_u^inv``).
+    INVALIDATE_TARGET = "inv_target"
+    #: Unknown block content ("any data, or no data"): Table 1 state ``*``.
+    STAR = "star"
+
+
+class AddressClass(enum.Enum):
+    """Which symbolic address a step refers to (see module docstring)."""
+
+    U = "u"
+    A = "a"
+    A_ALIAS = "a_alias"
+    D = "d"
+    NONE = "-"
+
+
+@dataclass(frozen=True)
+class State:
+    """One symbolic TLB-block state, e.g. ``V_u`` or ``A_d`` or ``*``.
+
+    Instances are interned as module-level constants (``V_U``, ``A_D`` ...);
+    user code normally refers to those rather than constructing states.
+    """
+
+    actor: Actor | None
+    operation: Operation
+    address: AddressClass
+
+    def __post_init__(self) -> None:
+        if self.operation is Operation.STAR:
+            if self.actor is not None or self.address is not AddressClass.NONE:
+                raise ValueError("the star state has no actor and no address")
+        elif self.actor is None:
+            raise ValueError("non-star states need an actor")
+        if self.operation is Operation.INVALIDATE_ALL:
+            if self.address is not AddressClass.NONE:
+                raise ValueError("coarse invalidation names no address")
+        if self.operation in (Operation.ACCESS, Operation.INVALIDATE_TARGET):
+            if self.address is AddressClass.NONE:
+                raise ValueError(f"{self.operation} requires an address class")
+        if self.address is AddressClass.U and self.actor is Actor.ATTACKER:
+            raise ValueError("only the victim can touch the secret page u")
+
+    # -- classification helpers ------------------------------------------------
+
+    @property
+    def is_star(self) -> bool:
+        return self.operation is Operation.STAR
+
+    @property
+    def is_secret(self) -> bool:
+        """True for the "u operations": steps whose address is the secret ``u``.
+
+        Appendix A calls these ``u_operation``; they are the steps that carry
+        the victim's secret-dependent behaviour.
+        """
+        return self.address is AddressClass.U
+
+    @property
+    def is_known(self) -> bool:
+        """True if the step leaves the block in a state the attacker knows.
+
+        Accesses and invalidations of the known addresses ``a``/``a_alias``/
+        ``d`` and coarse invalidations are all "known" in the sense of
+        reduction rule 4 (Section 3.3); the secret ``u`` operations and the
+        star state are not.
+        """
+        return not self.is_star and not self.is_secret
+
+    @property
+    def is_invalidation(self) -> bool:
+        return self.operation in (
+            Operation.INVALIDATE_ALL,
+            Operation.INVALIDATE_TARGET,
+        )
+
+    @property
+    def is_alias(self) -> bool:
+        return self.address is AddressClass.A_ALIAS
+
+    @property
+    def name(self) -> str:
+        """Canonical compact name, e.g. ``V_u``, ``A_a_alias``, ``V_d_inv``."""
+        if self.is_star:
+            return "STAR"
+        base = f"{self.actor.value}_{self.address.value}"
+        if self.operation is Operation.INVALIDATE_ALL:
+            return f"{self.actor.value}_inv"
+        if self.operation is Operation.INVALIDATE_TARGET:
+            return f"{base}_inv"
+        return base
+
+    def pretty(self) -> str:
+        """Paper-style rendering, e.g. ``V_u`` or ``A_a^alias`` or ``V_u^inv``."""
+        if self.is_star:
+            return "*"
+        addr = {
+            AddressClass.U: "u",
+            AddressClass.A: "a",
+            AddressClass.A_ALIAS: "a^alias",
+            AddressClass.D: "d",
+            AddressClass.NONE: "inv",
+        }[self.address]
+        if self.operation is Operation.INVALIDATE_ALL:
+            return f"{self.actor.value}_inv"
+        if self.operation is Operation.INVALIDATE_TARGET:
+            return f"{self.actor.value}_{addr}^inv"
+        return f"{self.actor.value}_{addr}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.pretty()
+
+
+def _access(actor: Actor, address: AddressClass) -> State:
+    return State(actor, Operation.ACCESS, address)
+
+
+def _inv_target(actor: Actor, address: AddressClass) -> State:
+    return State(actor, Operation.INVALIDATE_TARGET, address)
+
+
+# -- the ten base-model states (Table 1) --------------------------------------
+
+V_U = _access(Actor.VICTIM, AddressClass.U)
+A_A = _access(Actor.ATTACKER, AddressClass.A)
+V_A = _access(Actor.VICTIM, AddressClass.A)
+A_A_ALIAS = _access(Actor.ATTACKER, AddressClass.A_ALIAS)
+V_A_ALIAS = _access(Actor.VICTIM, AddressClass.A_ALIAS)
+A_INV = State(Actor.ATTACKER, Operation.INVALIDATE_ALL, AddressClass.NONE)
+V_INV = State(Actor.VICTIM, Operation.INVALIDATE_ALL, AddressClass.NONE)
+A_D = _access(Actor.ATTACKER, AddressClass.D)
+V_D = _access(Actor.VICTIM, AddressClass.D)
+STAR = State(None, Operation.STAR, AddressClass.NONE)
+
+#: The ten states of the base three-step model, in Table 1 order.
+BASE_STATES: Tuple[State, ...] = (
+    V_U,
+    A_A,
+    V_A,
+    A_A_ALIAS,
+    V_A_ALIAS,
+    A_INV,
+    V_INV,
+    A_D,
+    V_D,
+    STAR,
+)
+
+# -- the seven extended states (Appendix B, Table 6) ---------------------------
+
+V_U_INV = _inv_target(Actor.VICTIM, AddressClass.U)
+A_A_INV = _inv_target(Actor.ATTACKER, AddressClass.A)
+V_A_INV = _inv_target(Actor.VICTIM, AddressClass.A)
+A_A_ALIAS_INV = _inv_target(Actor.ATTACKER, AddressClass.A_ALIAS)
+V_A_ALIAS_INV = _inv_target(Actor.VICTIM, AddressClass.A_ALIAS)
+A_D_INV = _inv_target(Actor.ATTACKER, AddressClass.D)
+V_D_INV = _inv_target(Actor.VICTIM, AddressClass.D)
+
+#: The seven targeted-invalidation states of the extended model.
+EXTENDED_ONLY_STATES: Tuple[State, ...] = (
+    V_U_INV,
+    A_A_INV,
+    V_A_INV,
+    A_A_ALIAS_INV,
+    V_A_ALIAS_INV,
+    A_D_INV,
+    V_D_INV,
+)
+
+#: All seventeen states of the extended model.
+EXTENDED_STATES: Tuple[State, ...] = BASE_STATES + EXTENDED_ONLY_STATES
+
+_BY_NAME = {state.name: state for state in EXTENDED_STATES}
+
+
+def state_by_name(name: str) -> State:
+    """Look up a state by its canonical :attr:`State.name` (e.g. ``"V_u"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown state {name!r}; known states: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,110 @@
+"""The 24 vulnerabilities of Table 2, transcribed verbatim from the paper.
+
+This module is deliberately *independent* of the derivation pipeline: it is
+the ground truth the test suite compares the mechanized derivation
+(:func:`repro.model.effectiveness.derive_vulnerabilities`) against.  Each
+entry is ``(step1, step2, step3, observation, macro type, strategy)`` exactly
+as printed in Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .patterns import (
+    MacroType,
+    Observation,
+    Strategy,
+    ThreeStepPattern,
+    Vulnerability,
+)
+from .states import (
+    A_A,
+    A_A_ALIAS,
+    A_D,
+    A_INV,
+    State,
+    V_A,
+    V_A_ALIAS,
+    V_D,
+    V_INV,
+    V_U,
+)
+
+FAST = Observation.FAST
+SLOW = Observation.SLOW
+
+#: Table 2, row by row: (steps, observation, macro type, strategy).
+TABLE2_ROWS: List[
+    Tuple[Tuple[State, State, State], Observation, MacroType, Strategy]
+] = [
+    # TLB Internal Collision (maps to the Double Page Fault attack).
+    ((A_INV, V_U, V_A), FAST, MacroType.IH, Strategy.INTERNAL_COLLISION),
+    ((V_INV, V_U, V_A), FAST, MacroType.IH, Strategy.INTERNAL_COLLISION),
+    ((A_D, V_U, V_A), FAST, MacroType.IH, Strategy.INTERNAL_COLLISION),
+    ((V_D, V_U, V_A), FAST, MacroType.IH, Strategy.INTERNAL_COLLISION),
+    ((A_A_ALIAS, V_U, V_A), FAST, MacroType.IH, Strategy.INTERNAL_COLLISION),
+    ((V_A_ALIAS, V_U, V_A), FAST, MacroType.IH, Strategy.INTERNAL_COLLISION),
+    # TLB Flush + Reload.
+    ((A_INV, V_U, A_A), FAST, MacroType.EH, Strategy.FLUSH_RELOAD),
+    ((V_INV, V_U, A_A), FAST, MacroType.EH, Strategy.FLUSH_RELOAD),
+    ((A_D, V_U, A_A), FAST, MacroType.EH, Strategy.FLUSH_RELOAD),
+    ((V_D, V_U, A_A), FAST, MacroType.EH, Strategy.FLUSH_RELOAD),
+    ((A_A_ALIAS, V_U, A_A), FAST, MacroType.EH, Strategy.FLUSH_RELOAD),
+    ((V_A_ALIAS, V_U, A_A), FAST, MacroType.EH, Strategy.FLUSH_RELOAD),
+    # TLB Evict + Time.
+    ((V_U, A_D, V_U), SLOW, MacroType.EM, Strategy.EVICT_TIME),
+    ((V_U, A_A, V_U), SLOW, MacroType.EM, Strategy.EVICT_TIME),
+    # TLB Prime + Probe (maps to TLBleed).
+    ((A_D, V_U, A_D), SLOW, MacroType.EM, Strategy.PRIME_PROBE),
+    ((A_A, V_U, A_A), SLOW, MacroType.EM, Strategy.PRIME_PROBE),
+    # TLB version of Bernstein's Attack.
+    ((V_U, V_A, V_U), SLOW, MacroType.IM, Strategy.BERNSTEIN),
+    ((V_U, V_D, V_U), SLOW, MacroType.IM, Strategy.BERNSTEIN),
+    ((V_D, V_U, V_D), SLOW, MacroType.IM, Strategy.BERNSTEIN),
+    ((V_A, V_U, V_A), SLOW, MacroType.IM, Strategy.BERNSTEIN),
+    # TLB Evict + Probe.
+    ((V_D, V_U, A_D), SLOW, MacroType.EM, Strategy.EVICT_PROBE),
+    ((V_A, V_U, A_A), SLOW, MacroType.EM, Strategy.EVICT_PROBE),
+    # TLB Prime + Time.
+    ((A_D, V_U, V_D), SLOW, MacroType.IM, Strategy.PRIME_TIME),
+    ((A_A, V_U, V_A), SLOW, MacroType.IM, Strategy.PRIME_TIME),
+]
+
+
+def table2_vulnerabilities() -> List[Vulnerability]:
+    """The 24 Table 2 rows as :class:`Vulnerability` objects."""
+    return [
+        Vulnerability(ThreeStepPattern(steps), observation)
+        for steps, observation, _macro, _strategy in TABLE2_ROWS
+    ]
+
+
+def table2_expected_classification() -> Dict[Vulnerability, Tuple[MacroType, Strategy]]:
+    """Map each Table 2 vulnerability to its printed macro type and strategy."""
+    return {
+        Vulnerability(ThreeStepPattern(steps), observation): (macro, strategy)
+        for steps, observation, macro, strategy in TABLE2_ROWS
+    }
+
+
+#: Rows the paper attributes to previously published attacks.
+KNOWN_ATTACK_STRATEGIES = {
+    Strategy.INTERNAL_COLLISION: "Double Page Fault (Hund et al., IEEE S&P 2013)",
+    Strategy.PRIME_PROBE: "TLBleed (Gras et al., USENIX Security 2018)",
+}
+
+#: Headline defence counts claimed in Sections 1, 2.3 and 5.3.
+PAPER_DEFENCE_CLAIMS = {
+    # Standard set-associative TLB with ASIDs: defends the 10 hit-based
+    # cross-process rows (6 Flush+Reload EH rows and the 4 rows that need a
+    # cross-process hit are folded into Table 4's zero-capacity entries).
+    "sa_defended": 10,
+    # Static-Partition TLB: the SA rows plus the 4 external miss-based rows.
+    "sp_defended": 14,
+    # Random-Fill TLB: everything.
+    "rf_defended": 24,
+    "total": 24,
+    "previously_published": 8,
+    "new": 16,
+}

@@ -1,0 +1,68 @@
+"""Performance and area evaluation (Section 6: Figure 7 and Table 5).
+
+* :mod:`repro.perf.configs` -- the 19 evaluated TLB configurations;
+* :mod:`repro.perf.timing` -- the trace-driven IPC/MPKI timing model with
+  multiprogrammed round-robin scheduling;
+* :mod:`repro.perf.harness` -- the Figure 7 grid (RSA/SecRSA alone and with
+  each SPEC workload over every configuration);
+* :mod:`repro.perf.area` -- the Table 5 area model, least-squares
+  calibrated against the paper's synthesis results.
+"""
+
+from .area import (
+    AreaEstimate,
+    AreaModel,
+    BLOCK_RAMS,
+    DSPS,
+    PAPER_TABLE5,
+)
+from .configs import (
+    SECURE_LABELS,
+    STANDARD_LABELS,
+    all_configurations,
+    config_by_label,
+    configuration_count,
+    labels_for,
+)
+from .harness import (
+    Figure7Cell,
+    PerfSettings,
+    Scenario,
+    all_scenarios,
+    figure7,
+    format_figure7,
+    headline_ratios,
+    run_cell,
+)
+from .export import export_figure7_csv, export_table4_csv
+from .plot import bar_chart, figure7_chart
+from .timing import PerfResult, ScheduledProcess, simulate
+
+__all__ = [
+    "AreaEstimate",
+    "AreaModel",
+    "BLOCK_RAMS",
+    "DSPS",
+    "Figure7Cell",
+    "PAPER_TABLE5",
+    "PerfResult",
+    "PerfSettings",
+    "Scenario",
+    "ScheduledProcess",
+    "SECURE_LABELS",
+    "STANDARD_LABELS",
+    "all_configurations",
+    "bar_chart",
+    "all_scenarios",
+    "config_by_label",
+    "configuration_count",
+    "export_figure7_csv",
+    "export_table4_csv",
+    "figure7",
+    "figure7_chart",
+    "format_figure7",
+    "headline_ratios",
+    "labels_for",
+    "run_cell",
+    "simulate",
+]

@@ -1,0 +1,66 @@
+"""Terminal bar charts for the Figure 7 series.
+
+Renders IPC and MPKI series in the layout of the paper's grouped bar
+figures -- one group per scenario, one bar per TLB organization -- using
+plain text so the harness output is self-contained.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .harness import Figure7Cell
+
+BAR_WIDTH = 40
+
+
+def _scale(values: Sequence[float]) -> float:
+    peak = max(values, default=0.0)
+    return peak if peak > 0 else 1.0
+
+
+def bar_chart(
+    title: str,
+    rows: Sequence[Tuple[str, float]],
+    unit: str = "",
+    width: int = BAR_WIDTH,
+) -> str:
+    """One labelled horizontal bar chart."""
+    lines = [title, "-" * len(title)]
+    scale = _scale([value for _label, value in rows])
+    for label, value in rows:
+        filled = int(round(width * value / scale))
+        lines.append(
+            f"{label:>14} |{'#' * filled}{' ' * (width - filled)}| "
+            f"{value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def figure7_chart(cells: Sequence[Figure7Cell], metric: str = "mpki") -> str:
+    """A Figure 7-style chart: scenario groups, one bar per (design, config).
+
+    ``metric`` is ``"mpki"`` (Figures 7d-f) or ``"ipc"`` (Figures 7a-c).
+    """
+    if metric not in ("mpki", "ipc"):
+        raise ValueError("metric must be 'mpki' or 'ipc'")
+    by_scenario: Dict[str, List[Figure7Cell]] = {}
+    for cell in cells:
+        by_scenario.setdefault(cell.scenario.label, []).append(cell)
+
+    charts = []
+    for scenario_label, group in by_scenario.items():
+        rows = [
+            (
+                f"{cell.kind.value} {cell.config_label}",
+                getattr(cell.total, metric),
+            )
+            for cell in group
+        ]
+        charts.append(
+            bar_chart(
+                f"{metric.upper()} -- {scenario_label}",
+                rows,
+            )
+        )
+    return "\n\n".join(charts)

@@ -1,0 +1,45 @@
+"""Security benchmarks and the Table 4 evaluation (Sections 5.1 and 5.3).
+
+* :mod:`repro.security.benchgen` -- generates a runnable micro security
+  benchmark (Figure 6 style) from any three-step vulnerability;
+* :mod:`repro.security.theory` -- the closed-form p1/p2/capacity values of
+  Section 5.3 for the SA, SP and RF designs;
+* :mod:`repro.security.evaluate` -- the 24 x 1000-trial simulation harness
+  that regenerates Table 4 and the headline defence counts (SA 10/24,
+  SP 14/24, RF 24/24).
+"""
+
+from .benchgen import (
+    BenchmarkLayout,
+    alias_page,
+    generate,
+    layout_for_partitioned_tlb,
+    region_size_for,
+    secret_page,
+)
+from .evaluate import (
+    EvaluationConfig,
+    SecurityEvaluator,
+    VulnerabilityResult,
+    defended_counts,
+    format_table4,
+)
+from .kinds import TLBKind, make_tlb
+from .theory import TheoreticalModel
+
+__all__ = [
+    "BenchmarkLayout",
+    "EvaluationConfig",
+    "SecurityEvaluator",
+    "TLBKind",
+    "TheoreticalModel",
+    "VulnerabilityResult",
+    "alias_page",
+    "defended_counts",
+    "format_table4",
+    "generate",
+    "layout_for_partitioned_tlb",
+    "make_tlb",
+    "region_size_for",
+    "secret_page",
+]

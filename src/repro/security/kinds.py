@@ -1,0 +1,45 @@
+"""TLB design selector shared by the security evaluation and the harness."""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Optional
+
+from repro.tlb import (
+    BaseTLB,
+    RandomFillTLB,
+    SetAssociativeTLB,
+    StaticPartitionTLB,
+    TLBConfig,
+)
+
+
+class TLBKind(enum.Enum):
+    """The three designs compared throughout the paper."""
+
+    SA = "SA"
+    SP = "SP"
+    RF = "RF"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def make_tlb(
+    kind: TLBKind,
+    config: TLBConfig,
+    victim_asid: int = 1,
+    victim_ways: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> BaseTLB:
+    """Instantiate one of the three designs over a common configuration."""
+    if kind is TLBKind.SA:
+        return SetAssociativeTLB(config)
+    if kind is TLBKind.SP:
+        return StaticPartitionTLB(
+            config, victim_asid=victim_asid, victim_ways=victim_ways
+        )
+    if kind is TLBKind.RF:
+        return RandomFillTLB(config, victim_asid=victim_asid, rng=rng)
+    raise ValueError(f"unknown TLB kind {kind}")  # pragma: no cover

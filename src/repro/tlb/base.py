@@ -1,0 +1,221 @@
+"""Shared TLB machinery: lookup, flush, invalidation, and the fill hook.
+
+Every design (standard SA/FA, Static-Partition, Random-Fill) shares the same
+hit path -- a hit requires matching page number *and* process ID -- and the
+same maintenance operations; the designs differ only in how a miss is
+handled.  :class:`BaseTLB` implements the common template and defers the
+miss to :meth:`BaseTLB._handle_miss`.
+
+Translations come from a *translator* (the page-table walker in the full
+system; tests use :class:`IdentityTranslator`).  The walker reports its
+latency so the TLB can expose the fast/slow timing the attacks measure.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+from .config import TLBConfig
+from .entry import TLBEntry
+from .replacement import ReplacementPolicy, make_policy
+from .stats import TLBStats
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """A page-table walk's outcome: the physical page and its latency.
+
+    ``level`` reports the leaf's superpage level (0 = 4 KiB): superpage
+    walks touch fewer radix levels and their translations cover a whole
+    aligned region in the TLB.
+    """
+
+    ppn: int
+    cycles: int
+    level: int = 0
+
+
+class Translator(Protocol):
+    """Anything that can resolve a (vpn, asid) to a physical page."""
+
+    def walk(self, vpn: int, asid: int) -> WalkResult:  # pragma: no cover
+        ...
+
+
+class IdentityTranslator:
+    """A trivial translator mapping every page to itself.
+
+    Used by unit tests and the security benchmarks, where only hit/miss
+    behaviour matters; the full system uses :class:`repro.mmu.walker`.
+    """
+
+    def __init__(self, cycles: int = 30) -> None:
+        self.cycles = cycles
+        self.walks = 0
+
+    def walk(self, vpn: int, asid: int) -> WalkResult:
+        self.walks += 1
+        return WalkResult(ppn=vpn, cycles=self.cycles)
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one translation request."""
+
+    hit: bool
+    ppn: int
+    #: Total latency in cycles: the architectural timing the attacker sees.
+    cycles: int
+    #: The valid entry displaced by this access's fill, if any.
+    evicted: Optional[TLBEntry] = None
+    #: Whether the *requested* translation was inserted into the TLB.  The
+    #: Random-Fill TLB returns secure-region translations through its buffer
+    #: without filling (Section 4.2.1), in which case this is False.
+    filled: bool = True
+
+    @property
+    def miss(self) -> bool:
+        return not self.hit
+
+
+class BaseTLB(abc.ABC):
+    """Template for all TLB designs."""
+
+    def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
+        self.config = config
+        self.name = name
+        self.stats = TLBStats()
+        self._policy: ReplacementPolicy = make_policy(config.replacement)
+        self._clock = 0
+        self._sets: List[List[TLBEntry]] = [
+            [TLBEntry() for _way in range(config.ways)]
+            for _set in range(config.sets)
+        ]
+
+    # -- the shared hit path ---------------------------------------------------
+
+    def translate(self, vpn: int, asid: int, translator: Translator) -> AccessResult:
+        """Translate one page access, updating state and statistics."""
+        self._clock += 1
+        entry = self._find(vpn, asid)
+        if entry is not None:
+            entry.touch(self._clock)
+            self.stats.record_access(hit=True, asid=asid)
+            return AccessResult(
+                hit=True, ppn=entry.translate(vpn), cycles=self.config.hit_latency
+            )
+        self.stats.record_access(hit=False, asid=asid)
+        return self._handle_miss(vpn, asid, translator)
+
+    @abc.abstractmethod
+    def _handle_miss(
+        self, vpn: int, asid: int, translator: Translator
+    ) -> AccessResult:
+        """Design-specific miss handling (fill policy)."""
+
+    # -- lookup helpers ---------------------------------------------------------
+
+    #: Superpage levels a lookup probes (Sv39: 4 KiB, 2 MiB, 1 GiB).
+    _LEVELS = (0, 1, 2)
+
+    def _set_for(self, vpn: int, level: int = 0) -> List[TLBEntry]:
+        return self._sets[self.config.set_index_for_level(vpn, level)]
+
+    def _find(self, vpn: int, asid: int) -> Optional[TLBEntry]:
+        probed = set()
+        for level in self._LEVELS:
+            index = self.config.set_index_for_level(vpn, level)
+            if index in probed:
+                continue
+            probed.add(index)
+            for entry in self._sets[index]:
+                if entry.matches(vpn, asid):
+                    return entry
+        return None
+
+    def resident(self, vpn: int, asid: int) -> bool:
+        """Introspection for tests/harnesses: is the translation cached?"""
+        return self._find(vpn, asid) is not None
+
+    def entries(self) -> List[TLBEntry]:
+        """All valid entries (copies), for inspection."""
+        return [
+            entry.snapshot()
+            for tlb_set in self._sets
+            for entry in tlb_set
+            if entry.valid
+        ]
+
+    def occupancy(self) -> int:
+        return sum(
+            1 for tlb_set in self._sets for entry in tlb_set if entry.valid
+        )
+
+    # -- fill helper shared by the designs ---------------------------------------
+
+    def _fill_entry(
+        self,
+        victim: TLBEntry,
+        vpn: int,
+        ppn: int,
+        asid: int,
+        sec: bool = False,
+        level: int = 0,
+    ) -> Optional[TLBEntry]:
+        """Install a translation into ``victim``; return the displaced entry."""
+        evicted = victim.snapshot() if victim.valid else None
+        if evicted is not None:
+            self.stats.evictions += 1
+        victim.fill(vpn, ppn, asid, now=self._clock, sec=sec, level=level)
+        self.stats.fills += 1
+        return evicted
+
+    # -- maintenance operations ---------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Full flush (``sfence.vma`` with no operands / context switch)."""
+        for tlb_set in self._sets:
+            for entry in tlb_set:
+                entry.invalidate()
+        self.stats.flushes += 1
+
+    def flush_asid(self, asid: int) -> None:
+        """Flush every entry belonging to one process."""
+        for tlb_set in self._sets:
+            for entry in tlb_set:
+                if entry.valid and entry.asid == asid:
+                    entry.invalidate()
+        self.stats.flushes += 1
+
+    def invalidate_page(self, vpn: int, asid: int) -> AccessResult:
+        """Targeted invalidation of one translation (Appendix B semantics).
+
+        Returns an :class:`AccessResult` whose ``cycles`` exposes the
+        presence-dependent timing: invalidating a resident entry takes a
+        second cycle (slow); invalidating an absent one completes in the
+        probe cycle (fast).  ``hit`` reports whether the entry was present.
+        """
+        self._clock += 1
+        self.stats.invalidations += 1
+        entry = self._find(vpn, asid)
+        if entry is None:
+            return AccessResult(
+                hit=False, ppn=0, cycles=self.config.hit_latency, filled=False
+            )
+        self.stats.invalidation_hits += 1
+        ppn = entry.translate(vpn)
+        entry.invalidate()
+        return AccessResult(
+            hit=True,
+            ppn=ppn,
+            cycles=self.config.hit_latency + 1,
+            filled=False,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self.config.label()} "
+            f"occupancy={self.occupancy()}/{self.config.entries}>"
+        )

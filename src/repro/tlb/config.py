@@ -1,0 +1,105 @@
+"""TLB organization parameters.
+
+The paper evaluates L1 D-TLBs in seven organizations (Section 6.2): a single
+entry (``1E``, approximating "no TLB"), fully associative and 2/4-way
+set-associative at 32 and 128 entries.  :class:`TLBConfig` captures the
+organization; the security evaluation additionally uses the 8-way 32-entry
+configuration of Section 5.3 (four sets).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ReplacementKind(enum.Enum):
+    """Replacement policy selector (the paper's designs use LRU)."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+    #: Tree pseudo-LRU (what hardware typically implements).
+    TREE_PLRU = "tree_plru"
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Organization of one TLB.
+
+    Parameters
+    ----------
+    entries:
+        Total number of translation entries.
+    ways:
+        Associativity.  ``ways == entries`` gives a fully associative TLB
+        (one set); ``ways == 1`` a direct-mapped one.
+    page_bits:
+        log2 of the page size; 12 for the 4 KiB pages used throughout the
+        paper.  Stored for address helpers; the simulators operate on
+        virtual page numbers directly.
+    hit_latency:
+        Cycles for a TLB hit (the "fast" timing of the model).
+    replacement:
+        Which replacement policy each set uses.
+    """
+
+    entries: int = 32
+    ways: int = 4
+    page_bits: int = 12
+    hit_latency: int = 1
+    replacement: ReplacementKind = ReplacementKind.LRU
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0 or self.ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if self.entries % self.ways:
+            raise ValueError(
+                f"entries ({self.entries}) must be a multiple of ways "
+                f"({self.ways})"
+            )
+        if self.page_bits <= 0:
+            raise ValueError("page_bits must be positive")
+        if self.hit_latency < 0:
+            raise ValueError("hit_latency cannot be negative")
+
+    @property
+    def sets(self) -> int:
+        return self.entries // self.ways
+
+    @property
+    def fully_associative(self) -> bool:
+        return self.sets == 1
+
+    @property
+    def page_size(self) -> int:
+        return 1 << self.page_bits
+
+    def set_index(self, vpn: int) -> int:
+        """The set a virtual page number maps to (low VPN bits)."""
+        return vpn % self.sets
+
+    def set_index_for_level(self, vpn: int, level: int) -> int:
+        """The set a (super)page maps to: indexed above the superpage's
+        untranslated bits, so every page of a superpage shares one set."""
+        if level < 0:
+            raise ValueError("level cannot be negative")
+        return (vpn >> (9 * level)) % self.sets
+
+    def label(self) -> str:
+        """Figure 7-style configuration label: ``1E``, ``FA 32``, ``4W 32``."""
+        if self.entries == 1:
+            return "1E"
+        if self.fully_associative:
+            return f"FA {self.entries}"
+        return f"{self.ways}W {self.entries}"
+
+
+def fully_associative(entries: int, **kwargs) -> TLBConfig:
+    """Convenience constructor for an FA configuration."""
+    return TLBConfig(entries=entries, ways=entries, **kwargs)
+
+
+def single_entry(**kwargs) -> TLBConfig:
+    """The ``1E`` configuration approximating a disabled TLB."""
+    return TLBConfig(entries=1, ways=1, **kwargs)

@@ -1,0 +1,101 @@
+"""A two-level TLB hierarchy.
+
+Section 4 notes the secure designs "can be applied to instruction TLBs as
+well as other levels of TLB"; this module makes that concrete.  The L2 TLB
+is wired in as the L1's *translator*: an L1 miss consults the L2 (whose hit
+latency stands in for the L2 array access), and only an L2 miss pays the
+page-table walk.  Each level keeps its own design logic -- any combination
+of SA/SP/RF is expressible -- which lets the hierarchy ablation show the
+security consequence: a protected L1 in front of a standard L2 still leaks,
+because the victim's translations land in the L2 on the walk path and L2
+evictions remain attacker-observable through the miss latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import AccessResult, BaseTLB, Translator, WalkResult
+from .stats import TLBStats
+
+
+class _LevelAdapter:
+    """Presents the next TLB level as a translator for the level above."""
+
+    def __init__(self, next_level: BaseTLB, walker: Translator) -> None:
+        self._next_level = next_level
+        self._walker = walker
+
+    def walk(self, vpn: int, asid: int) -> WalkResult:
+        result = self._next_level.translate(vpn, asid, self._walker)
+        return WalkResult(ppn=result.ppn, cycles=result.cycles)
+
+
+class TwoLevelTLB:
+    """An L1 TLB backed by an L2 TLB.
+
+    Implements the same access interface as :class:`BaseTLB` (``translate``
+    / ``flush_all`` / ``flush_asid`` / ``invalidate_page`` / ``resident``),
+    so it drops into the CPU, the security evaluator (via a TLB factory)
+    and the performance harness unchanged.
+
+    ``stats`` exposes the L2's counters, whose ``misses`` are the true
+    page-table walks: that is what the benchmarks' ``tlb_miss_count``
+    observes, matching a hardware walk counter.  Per-level statistics are
+    available as ``l1.stats`` / ``l2.stats``.
+    """
+
+    def __init__(self, l1: BaseTLB, l2: BaseTLB, name: str = "two-level") -> None:
+        if l1 is l2:
+            raise ValueError("L1 and L2 must be distinct TLB instances")
+        self.l1 = l1
+        self.l2 = l2
+        self.name = name
+
+    # -- the BaseTLB-compatible surface -----------------------------------------
+
+    @property
+    def config(self):
+        return self.l1.config
+
+    @property
+    def stats(self) -> TLBStats:
+        return self.l2.stats
+
+    def translate(self, vpn: int, asid: int, translator: Translator) -> AccessResult:
+        adapter = _LevelAdapter(self.l2, translator)
+        return self.l1.translate(vpn, asid, adapter)
+
+    def flush_all(self) -> None:
+        self.l1.flush_all()
+        self.l2.flush_all()
+
+    def flush_asid(self, asid: int) -> None:
+        self.l1.flush_asid(asid)
+        self.l2.flush_asid(asid)
+
+    def invalidate_page(self, vpn: int, asid: int) -> AccessResult:
+        """Invalidate in both levels; present if either level held it."""
+        first = self.l1.invalidate_page(vpn, asid)
+        second = self.l2.invalidate_page(vpn, asid)
+        hit = first.hit or second.hit
+        return AccessResult(
+            hit=hit,
+            ppn=first.ppn if first.hit else second.ppn,
+            cycles=max(first.cycles, second.cycles),
+            filled=False,
+        )
+
+    def resident(self, vpn: int, asid: int) -> bool:
+        return self.l1.resident(vpn, asid) or self.l2.resident(vpn, asid)
+
+    def set_secure_region(
+        self, sbase: int, ssize: int, victim_asid: Optional[int] = None
+    ) -> None:
+        """Forward the RF region registers to whichever levels support them."""
+        for level in (self.l1, self.l2):
+            if hasattr(level, "set_secure_region"):
+                level.set_secure_region(sbase, ssize, victim_asid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TwoLevelTLB l1={self.l1!r} l2={self.l2!r}>"

@@ -1,0 +1,68 @@
+"""Workloads for the performance evaluation (Section 6.2).
+
+* :mod:`repro.workloads.rsa` -- genuine RSA (Miller-Rabin keygen, traced
+  square-and-multiply mirroring libgcrypt's Figure 5 access pattern);
+* :mod:`repro.workloads.spec` -- synthetic page-trace generators calibrated
+  to the four TLB-intensive SPEC 2006 benchmarks;
+* :mod:`repro.workloads.trace` -- the (gap, vpn) trace interface consumed
+  by the timing model.
+"""
+
+from .ecc import (
+    BASE_POINT,
+    Curve,
+    ECCBuffers,
+    ECCWorkload,
+    TOY_CURVE,
+    TracedScalarMult,
+    random_scalar,
+)
+from .rsa import (
+    CodePages,
+    MPIBuffers,
+    RSAKey,
+    RSAWorkload,
+    TracedModExp,
+    generate_key,
+    generate_prime,
+    is_probable_prime,
+)
+from .spec import (
+    CACTUSADM,
+    OMNETPP,
+    POVRAY,
+    SPEC_BENCHMARKS,
+    SpecProfile,
+    XALANCBMK,
+    by_name,
+)
+from .trace import MemoryEvent, TraceStats, Workload, collect
+
+__all__ = [
+    "BASE_POINT",
+    "CACTUSADM",
+    "Curve",
+    "ECCBuffers",
+    "ECCWorkload",
+    "TOY_CURVE",
+    "TracedScalarMult",
+    "CodePages",
+    "MPIBuffers",
+    "MemoryEvent",
+    "OMNETPP",
+    "POVRAY",
+    "RSAKey",
+    "RSAWorkload",
+    "SPEC_BENCHMARKS",
+    "SpecProfile",
+    "TraceStats",
+    "TracedModExp",
+    "Workload",
+    "XALANCBMK",
+    "by_name",
+    "collect",
+    "generate_key",
+    "random_scalar",
+    "generate_prime",
+    "is_probable_prime",
+]

@@ -1,0 +1,196 @@
+"""An elliptic-curve victim with the double-and-add access pattern.
+
+TLBleed's second demonstration target was libgcrypt's EdDSA: the scalar
+multiplication's *conditional point addition* touches distinct state only
+in windows whose secret scalar bit is 1 -- the same page-granular signal as
+RSA's ``tp`` swap (Figure 5).  This module implements genuine short-
+Weierstrass elliptic-curve arithmetic (verified by group-law property
+tests) and a traced double-and-add whose page touches mirror the secret.
+
+The curve is a small toy curve over the Mersenne prime ``2^61 - 1``: the
+trace structure, not cryptographic strength, is what the evaluation needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from .trace import MemoryEvent
+
+#: A point: affine coordinates, or None for the identity (point at infinity).
+Point = Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class Curve:
+    """A short Weierstrass curve ``y^2 = x^3 + ax + b`` over F_p."""
+
+    p: int
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        discriminant = (4 * pow(self.a, 3, self.p) + 27 * pow(self.b, 2, self.p)) % self.p
+        if discriminant == 0:
+            raise ValueError("singular curve (zero discriminant)")
+
+    def contains(self, point: Point) -> bool:
+        if point is None:
+            return True
+        x, y = point
+        return (y * y - (x * x * x + self.a * x + self.b)) % self.p == 0
+
+    def add(self, first: Point, second: Point) -> Point:
+        """The group law."""
+        if first is None:
+            return second
+        if second is None:
+            return first
+        x1, y1 = first
+        x2, y2 = second
+        if x1 == x2 and (y1 + y2) % self.p == 0:
+            return None  # P + (-P) = identity
+        if first == second:
+            slope = (3 * x1 * x1 + self.a) * pow(2 * y1, -1, self.p) % self.p
+        else:
+            slope = (y2 - y1) * pow(x2 - x1, -1, self.p) % self.p
+        x3 = (slope * slope - x1 - x2) % self.p
+        y3 = (slope * (x1 - x3) - y1) % self.p
+        return (x3, y3)
+
+    def double(self, point: Point) -> Point:
+        return self.add(point, point)
+
+    def negate(self, point: Point) -> Point:
+        if point is None:
+            return None
+        x, y = point
+        return (x, (-y) % self.p)
+
+    def scalar_mult(self, scalar: int, point: Point) -> Point:
+        """Reference double-and-add (no tracing), MSB first."""
+        if scalar < 0:
+            return self.scalar_mult(-scalar, self.negate(point))
+        result: Point = None
+        for index in range(scalar.bit_length() - 1, -1, -1):
+            result = self.double(result)
+            if (scalar >> index) & 1:
+                result = self.add(result, point)
+        return result
+
+
+#: The evaluation curve: y^2 = x^3 - 3x + 7 over the Mersenne prime 2^61-1,
+#: with base point (2, 3).
+TOY_CURVE = Curve(p=(1 << 61) - 1, a=-3 % ((1 << 61) - 1), b=7)
+BASE_POINT: Point = (2, 3)
+assert TOY_CURVE.contains(BASE_POINT)
+
+
+@dataclass(frozen=True)
+class ECCBuffers:
+    """Pages behind the scalar-multiplication working state.
+
+    ``double_vpn``/``accum_vpn`` are touched every window; ``add_vpn``
+    holds the point-addition temporaries touched only for 1-bits -- the
+    EdDSA analogue of RSA's ``tp`` page.
+    """
+
+    accum_vpn: int = 0x540
+    double_vpn: int = 0x541
+    add_vpn: int = 0x542
+
+    def pages(self) -> Tuple[int, int, int]:
+        return (self.accum_vpn, self.double_vpn, self.add_vpn)
+
+    @property
+    def sbase(self) -> int:
+        return min(self.pages())
+
+    @property
+    def ssize(self) -> int:
+        return max(self.pages()) - self.sbase + 1
+
+
+class TracedScalarMult:
+    """Double-and-add with per-window page-trace emission.
+
+    Yields ``("bit", index, 0)`` per scalar-bit window (MSB first) and
+    ``("access", gap, vpn)`` page touches; :attr:`result` holds the final
+    point after exhaustion.
+    """
+
+    def __init__(
+        self,
+        scalar: int,
+        point: Point = BASE_POINT,
+        curve: Curve = TOY_CURVE,
+        buffers: ECCBuffers = ECCBuffers(),
+        gap: int = 3,
+        touches: int = 2,
+    ) -> None:
+        if scalar < 0:
+            raise ValueError("scalar cannot be negative")
+        self.scalar = scalar
+        self.point = point
+        self.curve = curve
+        self.buffers = buffers
+        self.gap = gap
+        self.touches = touches
+        self.result: Point = None
+
+    def run(self) -> Iterator[Tuple[str, int, int]]:
+        buffers = self.buffers
+        gap = self.gap
+        accumulator: Point = None
+        for index in range(self.scalar.bit_length() - 1, -1, -1):
+            yield ("bit", index, 0)
+            accumulator = self.curve.double(accumulator)
+            for _ in range(self.touches):
+                yield ("access", gap, buffers.accum_vpn)
+                yield ("access", gap, buffers.double_vpn)
+            if (self.scalar >> index) & 1:
+                # The conditional point addition: the secret-dependent page.
+                accumulator = self.curve.add(accumulator, self.point)
+                for _ in range(self.touches):
+                    yield ("access", gap, buffers.add_vpn)
+        self.result = accumulator
+
+
+@dataclass
+class ECCWorkload:
+    """Repeated scalar multiplications as a trace workload."""
+
+    scalar: int
+    runs: int = 10
+    point: Point = BASE_POINT
+    curve: Curve = TOY_CURVE
+    buffers: ECCBuffers = field(default_factory=ECCBuffers)
+    name: str = "EdDSA"
+
+    def __post_init__(self) -> None:
+        if self.runs <= 0:
+            raise ValueError("need at least one run")
+        if self.scalar <= 0:
+            raise ValueError("scalar must be positive")
+
+    def events(self, rng: random.Random) -> Iterator[MemoryEvent]:
+        expected = self.curve.scalar_mult(self.scalar, self.point)
+        for _ in range(self.runs):
+            traced = TracedScalarMult(
+                self.scalar, self.point, self.curve, self.buffers
+            )
+            for kind, gap, vpn in traced.run():
+                if kind == "access":
+                    yield (gap, vpn)
+            assert traced.result == expected
+
+    def secure_region(self) -> Tuple[int, int]:
+        return (self.buffers.sbase, self.buffers.ssize)
+
+
+def random_scalar(bits: int = 64, seed: int = 0) -> int:
+    """A random secret scalar with its top bit set."""
+    rng = random.Random(seed)
+    return rng.getrandbits(bits) | (1 << (bits - 1)) | 1

@@ -1,0 +1,68 @@
+"""Tests for the Section 2.3 mitigation ladder."""
+
+import pytest
+
+from repro.ablations import (
+    evaluate_all_mitigations,
+    evaluate_asid_baseline,
+    evaluate_flush_on_switch,
+    evaluate_fully_associative,
+    format_mitigation_ladder,
+)
+from repro.model.patterns import Strategy
+
+TRIALS = 25
+
+
+class TestLadderCounts:
+    """The paper's defence counts for every pre-existing mitigation."""
+
+    def test_asid_baseline_defends_10(self):
+        result = evaluate_asid_baseline(trials=TRIALS)
+        assert result.defended == 10
+        assert result.matches_paper
+
+    def test_flush_on_switch_defends_14(self):
+        result = evaluate_flush_on_switch(trials=TRIALS)
+        assert result.defended == 14
+        assert result.matches_paper
+
+    def test_fully_associative_defends_18(self):
+        result = evaluate_fully_associative(trials=TRIALS)
+        assert result.defended == 18
+        assert result.matches_paper
+
+
+class TestLadderDetails:
+    def test_flush_on_switch_adds_exactly_the_em_rows(self):
+        baseline = {
+            result.vulnerability: result.defended
+            for result in evaluate_asid_baseline(trials=TRIALS).results
+        }
+        flushed = evaluate_flush_on_switch(trials=TRIALS).results
+        gained = [
+            result.vulnerability
+            for result in flushed
+            if result.defended and not baseline[result.vulnerability]
+        ]
+        assert len(gained) == 4
+        assert {v.strategy for v in gained} == {
+            Strategy.EVICT_TIME,
+            Strategy.PRIME_PROBE,
+        }
+
+    def test_fully_associative_leaves_only_internal_collision(self):
+        results = evaluate_fully_associative(trials=TRIALS).results
+        vulnerable = [r.vulnerability for r in results if not r.defended]
+        assert len(vulnerable) == 6
+        assert {v.strategy for v in vulnerable} == {Strategy.INTERNAL_COLLISION}
+
+    def test_full_ladder_matches_paper(self):
+        ladder = evaluate_all_mitigations(trials=TRIALS)
+        assert [result.defended for result in ladder] == [10, 14, 18, 14, 24]
+        assert all(result.matches_paper for result in ladder)
+
+    def test_format_ladder(self):
+        ladder = [evaluate_asid_baseline(trials=5)]
+        text = format_mitigation_ladder(ladder)
+        assert "ASID" in text and "/24" in text

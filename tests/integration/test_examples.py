@@ -1,0 +1,41 @@
+"""Smoke tests for the example scripts."""
+
+import pathlib
+import py_compile
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def example_paths():
+    return sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_at_least_six_examples_exist(self):
+        assert len(example_paths()) >= 6
+        names = {path.name for path in example_paths()}
+        assert "quickstart.py" in names
+
+    @pytest.mark.parametrize(
+        "path", example_paths(), ids=lambda path: path.name
+    )
+    def test_examples_compile(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_quickstart_runs(self, capsys):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "timing channel" in out
+        assert "SA" in out and "RF" in out
+
+    def test_enumerate_vulnerabilities_runs(self, capsys):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "enumerate_vulnerabilities.py"),
+            run_name="__main__",
+        )
+        out = capsys.readouterr().out
+        assert "exact match with the paper's Table 2: True" in out

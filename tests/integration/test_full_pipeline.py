@@ -1,0 +1,177 @@
+"""Integration tests spanning the model, simulators, and harnesses."""
+
+import pytest
+
+from repro.model import derive_vulnerabilities, table2_vulnerabilities
+from repro.security import (
+    EvaluationConfig,
+    SecurityEvaluator,
+    TLBKind,
+    defended_counts,
+)
+
+
+class TestModelToSimulationAgreement:
+    """The theory (model + closed forms) and the simulation must agree on
+    every verdict -- the paper's 'simulation results match theoretical
+    values' claim (Section 5.3.2)."""
+
+    @pytest.fixture(scope="class")
+    def table(self):
+        evaluator = SecurityEvaluator(EvaluationConfig(trials=60))
+        return evaluator.evaluate_table4()
+
+    def test_headline(self, table):
+        assert defended_counts(table) == {
+            TLBKind.SA: 10,
+            TLBKind.SP: 14,
+            TLBKind.RF: 24,
+        }
+
+    def test_verdicts_match_theory_everywhere(self, table):
+        for kind, results in table.items():
+            for result in results:
+                assert result.defended == result.theory_defends
+
+    def test_deterministic_designs_match_theory_exactly(self, table):
+        for kind in (TLBKind.SA, TLBKind.SP):
+            for result in table[kind]:
+                assert result.estimate.p1 == result.theoretical_p1
+                assert result.estimate.p2 == result.theoretical_p2
+
+    def test_rf_probabilities_are_balanced(self, table):
+        # The RF defence mechanism: p1 ~ p2 on every row.
+        for result in table[TLBKind.RF]:
+            assert result.estimate.p1 == pytest.approx(
+                result.estimate.p2, abs=0.25
+            )
+
+    def test_rf_tracks_closed_forms_on_deterministic_rows(self, table):
+        # Rows of shape known ~> V_u ~> known over the 3-page region track
+        # the paper's closed forms (1/3, 2/3, 1).  The V_u ~> known ~> V_u
+        # shape's closed form counts a different event than our benchmark
+        # realization (both measure C ~ 0, the actual claim); those and the
+        # 31-page rows are compared qualitatively in EXPERIMENTS.md.
+        for result in table[TLBKind.RF]:
+            from repro.security.benchgen import region_size_for
+
+            if (
+                region_size_for(result.vulnerability) == 3
+                and not result.vulnerability.pattern.step1.is_secret
+            ):
+                assert result.estimate.p1 == pytest.approx(
+                    result.theoretical_p1, abs=0.2
+                )
+
+
+class TestDerivedRowsAreTestable:
+    def test_every_derived_row_has_a_working_benchmark(self):
+        # The derivation and the benchmark generator agree: each of the 24
+        # derived rows yields a program whose SA-TLB verdict matches the
+        # theory on at least the mapped trial.
+        from repro.isa import CPU, ExecutionStatus, assemble
+        from repro.mmu import PageTableWalker
+        from repro.security.benchgen import generate
+        from repro.security.kinds import make_tlb
+        from repro.tlb import TLBConfig
+
+        for vulnerability in derive_vulnerabilities():
+            program = assemble(generate(vulnerability, mapped=True))
+            tlb = make_tlb(TLBKind.SA, TLBConfig(entries=32, ways=8))
+            cpu = CPU(tlb=tlb, translator=PageTableWalker(auto_map=True))
+            cpu.load(program)
+            result = cpu.run()
+            assert result.status in (
+                ExecutionStatus.PASSED,
+                ExecutionStatus.FAILED,
+            )
+
+    def test_derivation_matches_transcription(self):
+        assert set(derive_vulnerabilities()) == set(table2_vulnerabilities())
+
+
+class TestAttacksAgreeWithTable4:
+    """End-to-end attacks must succeed exactly where Table 4 predicts."""
+
+    def test_prime_probe_row_predicts_tlbleed(self):
+        from repro.attacks import tlbleed_attack
+
+        evaluator = SecurityEvaluator(EvaluationConfig(trials=40))
+        from repro.model.patterns import Strategy
+
+        for kind, should_succeed in (
+            (TLBKind.SA, True),
+            (TLBKind.SP, False),
+            (TLBKind.RF, False),
+        ):
+            rows = [
+                result
+                for result in evaluator.evaluate_kind(kind)
+                if result.vulnerability.strategy is Strategy.PRIME_PROBE
+            ]
+            row_vulnerable = any(not row.defended for row in rows)
+            assert row_vulnerable == should_succeed
+            attack = tlbleed_attack(kind)
+            assert attack.recovered_exactly == should_succeed
+
+    def test_internal_collision_row_predicts_double_page_fault(self):
+        from repro.attacks import scan_secret_page
+        from repro.model.patterns import Strategy
+
+        evaluator = SecurityEvaluator(EvaluationConfig(trials=40))
+        for kind, should_succeed in (
+            (TLBKind.SA, True),
+            (TLBKind.SP, True),  # internal interference survives SP
+        ):
+            rows = [
+                result
+                for result in evaluator.evaluate_kind(kind)
+                if result.vulnerability.strategy is Strategy.INTERNAL_COLLISION
+            ]
+            assert any(not row.defended for row in rows) == should_succeed
+            assert scan_secret_page(kind).correct == should_succeed
+
+
+class TestCpuAndTraceTimingAgree:
+    def test_isa_cpu_and_trace_model_charge_identical_costs(self):
+        # A load loop on the CPU and the equivalent (gap, vpn) trace on the
+        # timing model must produce the same cycles and misses.
+        from repro.isa import CPU, assemble
+        from repro.mmu import PageTableWalker
+        from repro.perf.timing import ScheduledProcess, simulate
+        from repro.tlb import SetAssociativeTLB, TLBConfig
+
+        pages = [0x10, 0x11, 0x12, 0x10, 0x11, 0x12]
+        source_lines = []
+        for vpn in pages:
+            source_lines.append(f"la x1, page_{vpn:x}")
+            source_lines.append("ldnorm x2, 0(x1)")
+        source_lines.append("halt")
+        data = [".data"]
+        for vpn in sorted(set(pages)):
+            data.append(f".org {vpn << 12:#x}")
+            data.append(f"page_{vpn:x}: .dword 0")
+        program = assemble("\n".join(source_lines + data))
+
+        cpu = CPU(
+            SetAssociativeTLB(TLBConfig(entries=8, ways=2)),
+            PageTableWalker(auto_map=True),
+        )
+        cpu.load(program)
+        cpu.run()
+
+        class Trace:
+            name = "trace"
+
+            def events(self, rng):
+                return iter([(1, vpn) for vpn in pages])  # la = 1-cycle gap
+
+        results = simulate(
+            SetAssociativeTLB(TLBConfig(entries=8, ways=2)),
+            [ScheduledProcess(Trace(), asid=1)],
+            walker=PageTableWalker(auto_map=True),
+        )
+        total = results["total"]
+        # CPU ran one extra halt instruction (1 cycle).
+        assert cpu.cycles == total.cycles + 1
+        assert cpu.tlb.stats.misses == total.misses

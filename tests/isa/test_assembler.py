@@ -1,0 +1,144 @@
+"""Tests for the benchmark-dialect assembler."""
+
+import pytest
+
+from repro.isa import AssemblyError, DATA_BASE, assemble
+
+
+class TestText:
+    def test_simple_program(self):
+        program = assemble(
+            """
+            li x1, 5
+            addi x2, x1, 3
+            halt
+            """
+        )
+        assert [i.mnemonic for i in program.instructions] == ["li", "addi", "halt"]
+        assert program.instructions[1].imm == 3
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("# header\n\n  li x1, 1  # trailing\nhalt\n")
+        assert len(program.instructions) == 2
+
+    def test_labels_record_instruction_index(self):
+        program = assemble(
+            """
+            li x1, 0
+            loop:
+            addi x1, x1, 1
+            beq x1, x2, loop
+            halt
+            """
+        )
+        assert program.labels["loop"] == 1
+        assert program.instructions[2].symbol == "loop"
+
+    def test_memory_operands(self):
+        program = assemble("ldnorm x2, 8(x1)\nsd x3, -8(x4)\nhalt")
+        load = program.instructions[0]
+        assert load.rd == 2 and load.rs1 == 1 and load.imm == 8
+        store = program.instructions[1]
+        assert store.rs2 == 3 and store.rs1 == 4 and store.imm == -8
+
+    def test_abi_register_names(self):
+        program = assemble("mv a0, t0\nhalt")
+        assert program.instructions[0].rd == 10
+        assert program.instructions[0].rs1 == 5
+
+    def test_csr_forms(self):
+        program = assemble(
+            "csrw process_id, 1\ncsrw sbase, x5\ncsrr x3, tlb_miss_count\nhalt"
+        )
+        imm_write, reg_write, read = program.instructions[:3]
+        assert imm_write.imm == 1 and imm_write.rs1 is None
+        assert reg_write.rs1 == 5 and reg_write.imm is None
+        assert read.csr == "tlb_miss_count" and read.rd == 3
+
+    def test_sfence_forms(self):
+        program = assemble("sfence.vma\nsfence.vma x1\nsfence.vma x1, x2\nhalt")
+        bare, page, page_asid = program.instructions[:3]
+        assert bare.rs1 is None
+        assert page.rs1 == 1 and page.rs2 is None
+        assert page_asid.rs2 == 2
+
+
+class TestData:
+    def test_dword_layout(self):
+        program = assemble(
+            """
+            .data
+            tdat0: .dword 1, 2, 3
+            tdat1:
+            .dword 4
+            .text
+            la x1, tdat0
+            halt
+            """
+        )
+        assert program.symbols["tdat0"] == DATA_BASE
+        assert program.symbols["tdat1"] == DATA_BASE + 24
+        assert program.data[DATA_BASE + 8] == 2
+        assert program.data[DATA_BASE + 24] == 4
+
+    def test_org_positions_data_on_chosen_pages(self):
+        program = assemble(
+            """
+            .data
+            .org 0x20000
+            page_a: .dword 7
+            .org 0x21000
+            page_b: .dword 8
+            """
+        )
+        assert program.symbols["page_a"] == 0x20000
+        assert program.symbols["page_b"] == 0x21000
+
+    def test_zero_reserves_space(self):
+        program = assemble(
+            """
+            .data
+            head: .dword 1
+            gap: .zero 16
+            tail: .dword 2
+            """
+        )
+        assert program.symbols["gap"] == DATA_BASE + 8
+        assert program.symbols["tail"] == DATA_BASE + 24
+
+    def test_negative_dword_wraps_to_64_bits(self):
+        program = assemble(".data\nv: .dword -1\n")
+        assert program.data[DATA_BASE] == (1 << 64) - 1
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "frobnicate x1",
+            "li x1",
+            "ld x1, x2",
+            "beq x1, x2",
+            "la x1, nowhere\nhalt",
+            "j nowhere",
+            "csrr x1, bogus_csr\nhalt",
+            ".data\n.org 5\n",
+            ".data\n.zero 7\n",
+            ".dword 5",
+            "li q9, 1",
+            "loop:\nloop:\nhalt",
+        ],
+    )
+    def test_rejected_sources(self, source):
+        if "bogus_csr" in source:
+            # CSR validity is checked at execution time, not assembly time.
+            program = assemble(source)
+            assert program.instructions[0].csr == "bogus_csr"
+            return
+        with pytest.raises(AssemblyError):
+            assemble(source)
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError) as excinfo:
+            assemble("nop\nnop\nbadop x1\n")
+        assert "line 3" in str(excinfo.value)

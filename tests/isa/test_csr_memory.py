@@ -1,0 +1,138 @@
+"""Direct unit tests for the CSR file and physical memory."""
+
+import pytest
+
+from repro.isa.csr import CSR_ADDRESSES, CSRError, CSRFile, READ_ONLY_CSRS
+from repro.isa.memory import Memory, MisalignedAccess
+
+
+class TestCSRFile:
+    def test_defaults(self):
+        csr = CSRFile()
+        assert csr.read("process_id") == 1
+        assert csr.read("sbase") == 0
+        assert csr.read("ssize") == 0
+
+    def test_write_and_read_back(self):
+        csr = CSRFile()
+        csr.write("process_id", 2)
+        assert csr.read("process_id") == 2
+
+    def test_counters_require_binding(self):
+        csr = CSRFile()
+        with pytest.raises(CSRError):
+            csr.read("cycle")
+        csr.bind_counter("cycle", lambda: 42)
+        assert csr.read("cycle") == 42
+
+    def test_counters_are_read_only(self):
+        csr = CSRFile()
+        for name in READ_ONLY_CSRS:
+            with pytest.raises(CSRError):
+                csr.write(name, 1)
+
+    def test_bind_counter_rejects_writable_csrs(self):
+        with pytest.raises(CSRError):
+            CSRFile().bind_counter("sbase", lambda: 0)
+
+    def test_unknown_names_rejected(self):
+        csr = CSRFile()
+        with pytest.raises(CSRError):
+            csr.read("nonexistent")
+        with pytest.raises(CSRError):
+            csr.write("nonexistent", 1)
+        with pytest.raises(CSRError):
+            csr.on_write("nonexistent", lambda value: None)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(CSRError):
+            CSRFile().write("ssize", -1)
+
+    def test_write_hooks_fire(self):
+        csr = CSRFile()
+        seen = []
+        csr.on_write("sbase", seen.append)
+        csr.write("sbase", 7)
+        csr.write("sbase", 9)
+        assert seen == [7, 9]
+
+    def test_addresses_table_covers_all_csrs(self):
+        assert set(CSR_ADDRESSES) >= READ_ONLY_CSRS
+        assert len(set(CSR_ADDRESSES.values())) == len(CSR_ADDRESSES)
+
+
+class TestMemory:
+    def test_unwritten_memory_reads_zero(self):
+        assert Memory().load(0x1000) == 0
+
+    def test_store_load_roundtrip(self):
+        memory = Memory()
+        memory.store(0x1000, 0xDEADBEEF)
+        assert memory.load(0x1000) == 0xDEADBEEF
+
+    def test_values_wrap_to_64_bits(self):
+        memory = Memory()
+        memory.store(0, (1 << 64) + 5)
+        assert memory.load(0) == 5
+        memory.store(8, -1)
+        assert memory.load(8) == (1 << 64) - 1
+
+    def test_misaligned_access_rejected(self):
+        memory = Memory()
+        with pytest.raises(MisalignedAccess):
+            memory.load(0x1001)
+        with pytest.raises(MisalignedAccess):
+            memory.store(4, 1)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            Memory().load(-8)
+
+    def test_len_counts_written_words(self):
+        memory = Memory()
+        memory.store(0, 1)
+        memory.store(8, 2)
+        memory.store(0, 3)  # overwrite
+        assert len(memory) == 2
+
+
+class TestTLBStats:
+    def test_snapshot_is_independent(self):
+        from repro.tlb import TLBStats
+
+        stats = TLBStats()
+        stats.record_access(hit=False, asid=1)
+        snap = stats.snapshot()
+        stats.record_access(hit=True, asid=1)
+        assert snap.accesses == 1 and stats.accesses == 2
+        assert snap.misses_by_asid == {1: 1}
+
+    def test_rates(self):
+        from repro.tlb import TLBStats
+
+        stats = TLBStats()
+        assert stats.hit_rate == 0.0 and stats.miss_rate == 0.0
+        stats.record_access(hit=True, asid=1)
+        stats.record_access(hit=False, asid=2)
+        assert stats.hit_rate == 0.5
+        assert stats.miss_rate == 0.5
+
+    def test_mpki(self):
+        from repro.tlb import TLBStats
+
+        stats = TLBStats()
+        for _ in range(5):
+            stats.record_access(hit=False, asid=1)
+        assert stats.mpki(instructions=1000) == 5.0
+        with pytest.raises(ValueError):
+            stats.mpki(instructions=0)
+
+    def test_reset(self):
+        from repro.tlb import TLBStats
+
+        stats = TLBStats()
+        stats.record_access(hit=False, asid=1)
+        stats.fills += 1
+        stats.reset()
+        assert stats.accesses == 0 and stats.fills == 0
+        assert stats.misses_by_asid == {}

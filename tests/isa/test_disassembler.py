@@ -1,0 +1,119 @@
+"""Round-trip tests for the disassembler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.isa.disassembler import disassemble, disassemble_instruction
+from repro.model.table2 import table2_vulnerabilities
+from repro.security.benchgen import generate
+
+
+def roundtrip(text: str):
+    first = assemble(text)
+    second = assemble(disassemble(first))
+    return first, second
+
+
+def _shape(program):
+    """Everything semantically relevant (source line numbers excluded)."""
+    return (
+        [
+            (i.mnemonic, i.rd, i.rs1, i.rs2, i.imm, i.symbol, i.csr)
+            for i in program.instructions
+        ],
+        program.labels,
+        program.symbols,
+        program.data,
+    )
+
+
+def assert_equivalent(first, second):
+    assert _shape(first) == _shape(second)
+
+
+class TestRoundTrip:
+    def test_simple_program(self):
+        first, second = roundtrip(
+            """
+            li x1, 5
+            loop:
+            addi x1, x1, -1
+            bne x1, x0, loop
+            halt
+            """
+        )
+        assert_equivalent(first, second)
+
+    def test_memory_and_data(self):
+        first, second = roundtrip(
+            """
+            la x1, buf
+            ldnorm x2, 8(x1)
+            sd x2, 0(x1)
+            halt
+            .data
+            .org 0x40000
+            buf: .dword 1, 2, 3
+            tail: .zero 16
+            end: .dword 9
+            """
+        )
+        assert_equivalent(first, second)
+
+    def test_csrs_and_sfence(self):
+        first, second = roundtrip(
+            """
+            csrw process_id, 0
+            csrw sbase, x5
+            csrr x3, tlb_miss_count
+            sfence.vma
+            sfence.vma x1
+            sfence.vma x1, x7
+            pass
+            """
+        )
+        assert_equivalent(first, second)
+
+    def test_every_generated_benchmark_roundtrips(self):
+        for vulnerability in table2_vulnerabilities():
+            text = generate(vulnerability, mapped=True)
+            first, second = roundtrip(text)
+            assert_equivalent(first, second)
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "nop",
+                    "li x1, 42",
+                    "addi x2, x1, -3",
+                    "add x3, x1, x2",
+                    "mv x4, x3",
+                    "csrw process_id, 1",
+                    "csrr x5, instret",
+                    "sfence.vma",
+                ]
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_straightline_programs(self, instructions):
+        text = "\n".join(instructions + ["halt"])
+        first, second = roundtrip(text)
+        assert_equivalent(first, second)
+
+
+class TestInstructionRendering:
+    def test_renders_are_reparseable(self):
+        program = assemble(
+            "ld x1, -8(x2)\nbeq x1, x2, out\nout:\nfail"
+        )
+        for instruction in program.instructions:
+            text = disassemble_instruction(instruction)
+            reparsed = assemble(
+                text + "\nout:" if "out" in text else text
+            ).instructions[0]
+            assert reparsed.mnemonic == instruction.mnemonic

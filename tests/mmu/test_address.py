@@ -1,0 +1,54 @@
+"""Tests for Sv39 address helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mmu import address
+
+
+class TestConstants:
+    def test_sv39_geometry(self):
+        assert address.PAGE_SIZE == 4096
+        assert address.VA_BITS == 39
+        assert address.LEVELS == 3
+        assert address.ENTRIES_PER_TABLE == 512
+        assert address.MAX_VPN == (1 << 27) - 1
+
+
+class TestSplitting:
+    def test_vpn_and_offset(self):
+        addr = 0x1234_5678
+        assert address.vpn_of(addr) == addr >> 12
+        assert address.page_offset(addr) == addr & 0xFFF
+
+    def test_address_of_roundtrip(self):
+        assert address.address_of(0x123, 0x45) == (0x123 << 12) | 0x45
+
+    def test_vpn_levels_known_value(self):
+        vpn = (3 << 18) | (5 << 9) | 7
+        assert address.vpn_levels(vpn) == (3, 5, 7)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            address.vpn_of(1 << 39)
+        with pytest.raises(ValueError):
+            address.address_of(address.MAX_VPN + 1)
+        with pytest.raises(ValueError):
+            address.address_of(0, address.PAGE_SIZE)
+        with pytest.raises(ValueError):
+            address.vpn_from_levels(512, 0, 0)
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=address.MAX_VPN))
+    def test_levels_roundtrip(self, vpn):
+        assert address.vpn_from_levels(*address.vpn_levels(vpn)) == vpn
+
+    @given(
+        st.integers(min_value=0, max_value=address.MAX_VPN),
+        st.integers(min_value=0, max_value=address.PAGE_SIZE - 1),
+    )
+    def test_compose_split_roundtrip(self, vpn, offset):
+        addr = address.address_of(vpn, offset)
+        assert address.vpn_of(addr) == vpn
+        assert address.page_offset(addr) == offset

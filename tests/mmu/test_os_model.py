@@ -1,0 +1,164 @@
+"""Tests for the toy OS model (processes, mmap, switches, sfence)."""
+
+import pytest
+
+from repro.mmu import PageTableWalker, Permission, SwitchPolicy, ToyOS
+from repro.tlb import SetAssociativeTLB, TLBConfig
+
+
+def make_os(policy=SwitchPolicy.KEEP):
+    walker = PageTableWalker()
+    tlb = SetAssociativeTLB(TLBConfig(entries=8, ways=2))
+    return ToyOS(walker, tlb, switch_policy=policy), walker, tlb
+
+
+class TestProcesses:
+    def test_first_process_gets_asid_1(self):
+        os, _w, _t = make_os()
+        victim = os.create_process("rsa")
+        attacker = os.create_process("spy")
+        assert victim.asid == 1  # The paper's protected-victim convention.
+        assert attacker.asid == 2
+        assert os.current is victim
+
+    def test_explicit_asid(self):
+        os, _w, _t = make_os()
+        process = os.create_process("svc", asid=7)
+        assert process.asid == 7
+        follow_on = os.create_process("next")
+        assert follow_on.asid == 8
+
+    def test_duplicate_asid_rejected(self):
+        os, _w, _t = make_os()
+        os.create_process("a", asid=3)
+        with pytest.raises(ValueError):
+            os.create_process("b", asid=3)
+
+
+class TestMemory:
+    def test_mmap_maps_contiguous_pages(self):
+        os, walker, _t = make_os()
+        process = os.create_process("p")
+        base = os.mmap(process, pages=3)
+        for index in range(3):
+            assert process.page_table.lookup(base + index) is not None
+        # The walker can now translate them.
+        result = walker.walk(base, asid=process.asid)
+        assert result.ppn == process.page_table.lookup(base).ppn
+
+    def test_mmap_distinct_frames(self):
+        os, _w, _t = make_os()
+        process = os.create_process("p")
+        base = os.mmap(process, pages=5)
+        frames = {
+            process.page_table.lookup(base + index).ppn for index in range(5)
+        }
+        assert len(frames) == 5
+
+    def test_mmap_at_fixed_address(self):
+        os, _w, _t = make_os()
+        process = os.create_process("p")
+        base = os.mmap(process, pages=2, vpn=0x400)
+        assert base == 0x400
+
+    def test_mmap_rejects_zero_pages(self):
+        os, _w, _t = make_os()
+        process = os.create_process("p")
+        with pytest.raises(ValueError):
+            os.mmap(process, pages=0)
+
+    def test_munmap_shoots_down_tlb(self):
+        os, walker, tlb = make_os()
+        process = os.create_process("p")
+        base = os.mmap(process, pages=1)
+        tlb.translate(base, process.asid, walker)
+        assert tlb.resident(base, process.asid)
+        os.munmap(process, base)
+        assert not tlb.resident(base, process.asid)
+        assert process.page_table.lookup(base) is None
+
+
+class TestContextSwitch:
+    def _prime(self, os, walker, tlb):
+        victim = os.create_process("victim")
+        attacker = os.create_process("attacker")
+        base = os.mmap(victim, pages=1)
+        tlb.translate(base, victim.asid, walker)
+        return victim, attacker, base
+
+    def test_keep_policy_preserves_entries(self):
+        os, walker, tlb = make_os(SwitchPolicy.KEEP)
+        victim, attacker, base = self._prime(os, walker, tlb)
+        os.context_switch(attacker)
+        assert tlb.resident(base, victim.asid)
+
+    def test_flush_all_policy(self):
+        # The Sanctum/SGX mitigation: everything flushed on a switch.
+        os, walker, tlb = make_os(SwitchPolicy.FLUSH_ALL)
+        victim, attacker, base = self._prime(os, walker, tlb)
+        os.context_switch(attacker)
+        assert not tlb.resident(base, victim.asid)
+
+    def test_flush_outgoing_policy(self):
+        os, walker, tlb = make_os(SwitchPolicy.FLUSH_OUTGOING)
+        victim, attacker, base = self._prime(os, walker, tlb)
+        attacker_base = os.mmap(attacker, pages=1)
+        tlb.translate(attacker_base, attacker.asid, walker)
+        os.context_switch(attacker)  # outgoing = victim
+        assert not tlb.resident(base, victim.asid)
+        assert tlb.resident(attacker_base, attacker.asid)
+
+    def test_switch_to_self_does_not_flush(self):
+        os, walker, tlb = make_os(SwitchPolicy.FLUSH_ALL)
+        victim, _attacker, base = self._prime(os, walker, tlb)
+        os.context_switch(victim)
+        assert tlb.resident(base, victim.asid)
+
+    def test_switch_to_unknown_process_rejected(self):
+        os, _w, _t = make_os()
+        os.create_process("p")
+        from repro.mmu import PageTable, Process
+
+        stranger = Process(pid=99, asid=9, name="x", page_table=PageTable(9))
+        with pytest.raises(ValueError):
+            os.context_switch(stranger)
+
+    def test_switch_count(self):
+        os, walker, tlb = make_os()
+        victim, attacker, _base = self._prime(os, walker, tlb)
+        os.context_switch(attacker)
+        os.context_switch(victim)
+        assert os.context_switches == 2
+
+
+class TestSfence:
+    def test_sfence_full_flush(self):
+        os, walker, tlb = make_os()
+        process = os.create_process("p")
+        base = os.mmap(process, pages=2)
+        tlb.translate(base, process.asid, walker)
+        tlb.translate(base + 1, process.asid, walker)
+        os.sfence_vma()
+        assert tlb.occupancy() == 0
+
+    def test_sfence_by_asid(self):
+        os, walker, tlb = make_os()
+        first = os.create_process("a")
+        second = os.create_process("b")
+        base_a = os.mmap(first, pages=1)
+        base_b = os.mmap(second, pages=1)
+        tlb.translate(base_a, first.asid, walker)
+        tlb.translate(base_b, second.asid, walker)
+        os.sfence_vma(asid=first.asid)
+        assert not tlb.resident(base_a, first.asid)
+        assert tlb.resident(base_b, second.asid)
+
+    def test_sfence_by_page(self):
+        os, walker, tlb = make_os()
+        process = os.create_process("p")
+        base = os.mmap(process, pages=2)
+        tlb.translate(base, process.asid, walker)
+        tlb.translate(base + 1, process.asid, walker)
+        os.sfence_vma(vpn=base, asid=process.asid)
+        assert not tlb.resident(base, process.asid)
+        assert tlb.resident(base + 1, process.asid)

@@ -1,0 +1,134 @@
+"""Tests for the radix page table and walker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mmu import (
+    LEVELS,
+    PageFault,
+    PageTable,
+    PageTableWalker,
+    Permission,
+    WalkerConfig,
+)
+
+vpns = st.integers(min_value=0, max_value=(1 << 27) - 1)
+
+
+class TestPageTable:
+    def test_map_then_lookup(self):
+        table = PageTable(asid=1)
+        table.map_page(0x123, 0x456)
+        entry = table.lookup(0x123)
+        assert entry is not None and entry.ppn == 0x456
+
+    def test_lookup_missing_is_none(self):
+        assert PageTable().lookup(0x123) is None
+
+    def test_remap_replaces(self):
+        table = PageTable()
+        table.map_page(0x1, 0xA)
+        table.map_page(0x1, 0xB)
+        assert table.lookup(0x1).ppn == 0xB
+        assert len(table) == 1
+
+    def test_unmap(self):
+        table = PageTable()
+        table.map_page(0x1, 0xA)
+        assert table.unmap_page(0x1)
+        assert table.lookup(0x1) is None
+        assert not table.unmap_page(0x1)
+        assert len(table) == 0
+
+    def test_permissions(self):
+        table = PageTable()
+        entry = table.map_page(0x1, 0xA, Permission.rx())
+        assert entry.allows(Permission.READ)
+        assert entry.allows(Permission.EXECUTE)
+        assert not entry.allows(Permission.WRITE)
+
+    def test_walk_levels_touches_three_levels_on_success(self):
+        table = PageTable()
+        table.map_page(0x1, 0xA)
+        touched, entry = table.walk_levels(0x1)
+        assert touched == LEVELS and entry is not None
+
+    def test_walk_levels_short_circuits_on_missing_interior(self):
+        table = PageTable()
+        table.map_page(0x1, 0xA)
+        # A VPN differing in the root index fails at level 1.
+        far_vpn = 0x1 | (5 << 18)
+        touched, entry = table.walk_levels(far_vpn)
+        assert entry is None and touched < LEVELS
+
+    def test_mapped_pages_enumeration(self):
+        table = PageTable()
+        expected = {0x1, 0x200, 0x40000}
+        for vpn in expected:
+            table.map_page(vpn, vpn + 1)
+        assert set(table.mapped_pages()) == expected
+
+    @given(st.sets(vpns, min_size=0, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_len_tracks_distinct_mappings(self, pages):
+        table = PageTable()
+        for vpn in pages:
+            table.map_page(vpn, vpn)
+        assert len(table) == len(pages)
+        for vpn in pages:
+            assert table.lookup(vpn).ppn == vpn
+
+
+class TestWalker:
+    def test_walk_success_costs_full_traversal(self):
+        walker = PageTableWalker(WalkerConfig(cycles_per_level=10))
+        table = PageTable(asid=1)
+        table.map_page(0x5, 0x99)
+        walker.register(table)
+        result = walker.walk(0x5, asid=1)
+        assert result.ppn == 0x99
+        assert result.cycles == 30
+        assert walker.full_walk_cycles == 30
+
+    def test_unmapped_page_faults(self):
+        walker = PageTableWalker()
+        walker.register(PageTable(asid=1))
+        with pytest.raises(PageFault):
+            walker.walk(0x5, asid=1)
+        assert walker.faults == 1
+
+    def test_unknown_asid_faults(self):
+        with pytest.raises(PageFault):
+            PageTableWalker().walk(0x5, asid=9)
+
+    def test_auto_map_never_faults(self):
+        # Footnote 5: the OS pre-generates PTEs for RFE-drawn addresses.
+        walker = PageTableWalker(auto_map=True)
+        first = walker.walk(0x5, asid=1)
+        again = walker.walk(0x5, asid=1)
+        assert first.ppn == again.ppn
+        assert walker.faults == 0
+
+    def test_auto_map_assigns_distinct_frames(self):
+        walker = PageTableWalker(auto_map=True)
+        ppns = {walker.walk(vpn, asid=1).ppn for vpn in range(20)}
+        assert len(ppns) == 20
+
+    def test_walker_counts_walks(self):
+        walker = PageTableWalker(auto_map=True)
+        for vpn in range(5):
+            walker.walk(vpn, asid=1)
+        assert walker.walks == 5
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WalkerConfig(cycles_per_level=0)
+
+    def test_walker_satisfies_tlb_translator_protocol(self):
+        from repro.tlb import SetAssociativeTLB, TLBConfig
+
+        walker = PageTableWalker(auto_map=True)
+        tlb = SetAssociativeTLB(TLBConfig(entries=8, ways=2))
+        result = tlb.translate(vpn=3, asid=1, translator=walker)
+        assert result.miss and result.cycles == 1 + walker.full_walk_cycles
+        assert tlb.translate(vpn=3, asid=1, translator=walker).hit

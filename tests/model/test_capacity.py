@@ -1,0 +1,106 @@
+"""Tests for channel capacity (Equation 1), incl. property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.capacity import ChannelEstimate, channel_capacity
+
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestKnownValues:
+    def test_perfect_channel_is_one_bit(self):
+        assert channel_capacity(1.0, 0.0) == pytest.approx(1.0)
+        assert channel_capacity(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_equal_probabilities_leak_nothing(self):
+        for p in (0.0, 0.25, 0.5, 0.67, 1.0):
+            assert channel_capacity(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_paper_sa_tlb_prime_probe(self):
+        # Table 4, SA TLB, Prime + Probe simulation: p1*=1, p2*=0.01 -> 0.99.
+        assert channel_capacity(1.0, 1 / 500) == pytest.approx(0.99, abs=0.01)
+
+    def test_paper_sp_tlb_evict_time(self):
+        # Table 4, SP TLB, Evict + Time simulation: p1*=0, p2*=0.05 -> ~0.03.
+        assert channel_capacity(0.0, 26 / 500) == pytest.approx(0.03, abs=0.01)
+
+    def test_half_bit_example(self):
+        # Binary symmetric-ish channel: p1=0.75, p2=0.25 with equal priors.
+        expected = 1.0 - (-(0.75 * math.log2(0.75) + 0.25 * math.log2(0.25)))
+        assert channel_capacity(0.75, 0.25) == pytest.approx(expected)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, 2.0, -5.0])
+    def test_rejects_non_probabilities(self, bad):
+        with pytest.raises(ValueError):
+            channel_capacity(bad, 0.5)
+        with pytest.raises(ValueError):
+            channel_capacity(0.5, bad)
+
+
+class TestProperties:
+    @given(probabilities, probabilities)
+    def test_capacity_in_unit_interval(self, p1, p2):
+        capacity = channel_capacity(p1, p2)
+        assert 0.0 <= capacity <= 1.0 + 1e-12
+
+    @given(probabilities, probabilities)
+    def test_capacity_is_symmetric(self, p1, p2):
+        assert channel_capacity(p1, p2) == pytest.approx(
+            channel_capacity(p2, p1), abs=1e-9
+        )
+
+    @given(probabilities)
+    def test_zero_iff_equal(self, p):
+        assert channel_capacity(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    @given(probabilities, probabilities)
+    def test_complement_invariance(self, p1, p2):
+        # Relabeling hit<->miss leaves the mutual information unchanged.
+        assert channel_capacity(p1, p2) == pytest.approx(
+            channel_capacity(1.0 - p1, 1.0 - p2), abs=1e-9
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+    )
+    def test_estimate_matches_direct_computation(self, n_mm, n_nm):
+        estimate = ChannelEstimate(n_mm, n_nm, 500)
+        assert estimate.capacity == pytest.approx(
+            channel_capacity(n_mm / 500, n_nm / 500)
+        )
+
+
+class TestChannelEstimate:
+    def test_fields_and_probabilities(self):
+        estimate = ChannelEstimate(
+            misses_mapped=500, misses_unmapped=0, trials_per_behaviour=500
+        )
+        assert estimate.p1 == 1.0
+        assert estimate.p2 == 0.0
+        assert estimate.capacity == pytest.approx(1.0)
+        assert not estimate.defends()
+
+    def test_defends_threshold(self):
+        leaky = ChannelEstimate(500, 0, 500)
+        tight = ChannelEstimate(343, 333, 500)  # RF TLB-style counts
+        assert not leaky.defends()
+        assert tight.defends()
+
+    def test_rejects_count_above_trials(self):
+        with pytest.raises(ValueError):
+            ChannelEstimate(501, 0, 500)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            ChannelEstimate(-1, 0, 500)
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            ChannelEstimate(0, 0, 0)

@@ -1,0 +1,87 @@
+"""Tests for the derivation-report generator."""
+
+import pytest
+
+from repro.model import derivation_report, explain
+from repro.model.effectiveness import Relation, trace_pattern
+from repro.model.patterns import ThreeStepPattern
+from repro.model.states import A_A, A_D, STAR, V_A, V_U
+from repro.model.table2 import table2_vulnerabilities
+
+
+def pattern(*steps):
+    return ThreeStepPattern(tuple(steps))
+
+
+class TestTracePattern:
+    def test_trace_has_one_entry_per_step(self):
+        steps = trace_pattern(pattern(A_D, V_U, A_D), Relation.SAME_SET)
+        assert len(steps) == 3
+        assert [s.state.pretty() for s in steps] == ["A_d", "V_u", "A_d"]
+
+    def test_trace_contents_follow_the_machine(self):
+        from repro.model.effectiveness import Tag
+
+        steps = trace_pattern(pattern(A_D, V_U, A_D), Relation.SAME_SET)
+        assert steps[0].tested == frozenset({Tag.D})
+        assert steps[1].tested == frozenset({Tag.U})
+        assert steps[2].tested == frozenset({Tag.D})
+
+    def test_trace_timings_match_step3_timings(self):
+        from repro.model.effectiveness import step3_timings
+
+        for relation in (Relation.SAME_SET, Relation.DIFF):
+            steps = trace_pattern(pattern(A_D, V_U, A_D), relation)
+            assert steps[-1].timings == step3_timings(
+                pattern(A_D, V_U, A_D), relation
+            )
+
+
+class TestExplain:
+    def test_effective_pattern_verdict(self):
+        text = explain(pattern(A_D, V_U, A_D))
+        assert "verdict: vulnerability" in text
+        assert "TLB Prime + Probe" in text
+        assert "unambiguously implies" in text
+
+    def test_rule7_elimination_explained(self):
+        text = explain(pattern(A_A, V_U, A_D))
+        assert "verdict: NOT a vulnerability" in text
+        assert "rule 7" in text
+
+    def test_symbolically_eliminated_pattern(self):
+        text = explain(pattern(STAR, V_U, A_A))
+        assert "eliminated by the symbolic reduction script" in text
+        assert "rule3" in text
+
+    def test_every_table2_row_explains_as_a_vulnerability(self):
+        for vulnerability in table2_vulnerabilities():
+            text = explain(vulnerability.pattern)
+            assert "verdict: vulnerability" in text
+            assert f"observe '{vulnerability.observation.value}'" in text
+
+
+class TestDerivationReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return derivation_report()
+
+    def test_structure(self, report):
+        assert "# Deriving Table 2" in report
+        assert "## 1. Symbolic reduction" in report
+        assert "## 2. Effectiveness analysis" in report
+        assert "40 candidates -> 24 effective" in report
+
+    def test_all_24_rows_listed(self, report):
+        for vulnerability in table2_vulnerabilities():
+            assert f"`{vulnerability.pretty()}`" in report
+
+    def test_eliminated_candidates_have_reasons(self, report):
+        assert "rule 7: ambiguous" in report or "no information" in report
+        # 16 candidates are eliminated (40 - 24).
+        section = report.split("### Candidates eliminated")[1]
+        assert section.count("* `") == 16
+
+    def test_explanations_included_on_request(self):
+        full = derivation_report(include_explanations=True)
+        assert full.count("verdict:") >= 40

@@ -1,0 +1,155 @@
+"""Tests for Appendix A's Algorithm 1 (beta-step pattern reduction)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import soundness
+from repro.model.effectiveness import analyze
+from repro.model.patterns import ThreeStepPattern
+from repro.model.states import (
+    A_A,
+    A_D,
+    A_INV,
+    BASE_STATES,
+    STAR,
+    V_A,
+    V_D,
+    V_INV,
+    V_U,
+)
+from repro.model.table2 import table2_vulnerabilities
+
+
+base_states = st.sampled_from(list(BASE_STATES))
+state_sequences = st.lists(base_states, min_size=0, max_size=12)
+
+
+class TestSplitRules:
+    def test_rule1_splits_at_interior_star(self):
+        segments = soundness.rule1_split_at_stars([A_D, STAR, V_U, V_A])
+        assert segments == [[A_D], [STAR, V_U, V_A]]
+
+    def test_rule1_deletes_trailing_star(self):
+        segments = soundness.rule1_split_at_stars([A_D, V_U, STAR])
+        assert segments == [[A_D, V_U]]
+
+    def test_rule1_keeps_leading_star(self):
+        segments = soundness.rule1_split_at_stars([STAR, A_A, V_U])
+        assert segments == [[STAR, A_A, V_U]]
+
+    def test_rule2_splits_at_interior_flush(self):
+        segments = soundness.rule2_split_at_flushes([V_U, A_INV, V_U, V_A])
+        assert segments == [[V_U], [A_INV, V_U, V_A]]
+
+    def test_rule2_deletes_trailing_flush(self):
+        segments = soundness.rule2_split_at_flushes([A_D, V_U, V_INV])
+        assert segments == [[A_D, V_U]]
+
+
+class TestCollapseRule:
+    def test_adjacent_known_collapse_to_later(self):
+        collapsed = soundness.rule3_collapse_adjacent([A_D, V_A, V_U])
+        assert collapsed == [V_A, V_U]
+
+    def test_adjacent_secrets_collapse(self):
+        collapsed = soundness.rule3_collapse_adjacent([V_U, V_U, A_A])
+        assert collapsed == [V_U, A_A]
+
+    def test_alternating_sequence_is_unchanged(self):
+        steps = [A_D, V_U, A_D, V_U]
+        assert soundness.rule3_collapse_adjacent(steps) == steps
+
+    def test_result_alternates(self):
+        collapsed = soundness.rule3_collapse_adjacent(
+            [A_D, A_A, V_U, V_U, V_D, V_A, V_U]
+        )
+        for first, second in zip(collapsed, collapsed[1:]):
+            assert not (first.is_known and second.is_known)
+            assert not (first.is_secret and second.is_secret)
+
+
+class TestAlgorithm1:
+    def test_three_step_vulnerability_is_preserved(self):
+        for expected in table2_vulnerabilities():
+            found = soundness.effective_vulnerabilities(expected.pattern.steps)
+            assert expected in found
+
+    def test_padding_with_prefix_keeps_effectiveness(self):
+        # A longer attack containing Prime + Probe still reduces to it.
+        steps = [V_D, V_A, A_D, V_U, A_D]  # rule 3 collapses V_d, V_a, A_d.
+        found = soundness.effective_vulnerabilities(steps)
+        patterns = {v.pattern for v in found}
+        assert ThreeStepPattern((A_D, V_U, A_D)) in patterns
+
+    def test_star_in_middle_severs_the_channel(self):
+        # Prime ~> * ~> access ~> probe: the star destroys the attacker's
+        # knowledge, so no effective three-step remains.
+        steps = [A_D, STAR, V_U, A_A]
+        assert not soundness.is_effective(steps)
+
+    def test_flush_in_middle_restarts_the_pattern(self):
+        # The flush becomes Step 1 of the second half: A_inv ~> V_u ~> V_a.
+        steps = [V_U, A_INV, V_U, V_A]
+        found = soundness.effective_vulnerabilities(steps)
+        patterns = {v.pattern for v in found}
+        assert ThreeStepPattern((A_INV, V_U, V_A)) in patterns
+
+    def test_short_patterns_are_never_effective(self):
+        # beta <= 2 (Appendix A): no attack is possible.
+        assert not soundness.is_effective([])
+        for first in BASE_STATES:
+            assert not soundness.is_effective([first])
+            for second in BASE_STATES:
+                assert not soundness.is_effective([first, second])
+
+
+class TestProperties:
+    @given(state_sequences)
+    @settings(max_examples=200, deadline=None)
+    def test_reduction_never_grows(self, steps):
+        assert soundness.reduced_length(steps) <= len(steps)
+
+    @given(state_sequences)
+    @settings(max_examples=200, deadline=None)
+    def test_segments_alternate_and_avoid_interior_stars(self, steps):
+        for segment in soundness.reduce_pattern(steps):
+            assert segment, "empty segments must be dropped"
+            for index, state in enumerate(segment):
+                if index > 0:
+                    assert not state.is_star
+            for first, second in zip(segment, segment[1:]):
+                assert not (first.is_secret and second.is_secret)
+                assert not (first.is_known and second.is_known)
+
+    @given(state_sequences)
+    @settings(max_examples=200, deadline=None)
+    def test_every_reported_vulnerability_is_a_table2_row(self, steps):
+        table2 = set(table2_vulnerabilities())
+        for vulnerability in soundness.effective_vulnerabilities(steps):
+            assert vulnerability in table2
+
+    @given(state_sequences)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent_reduction(self, steps):
+        once = soundness.reduce_pattern(steps)
+        for segment in once:
+            again = soundness.reduce_pattern(segment)
+            assert again == [segment]
+
+    @given(base_states, base_states, base_states)
+    @settings(max_examples=200, deadline=None)
+    def test_agrees_with_direct_analysis_on_alternating_triples(
+        self, s1, s2, s3
+    ):
+        # For triples that Algorithm 1 leaves intact, windowing must agree
+        # with the direct effectiveness analysis.
+        steps = [s1, s2, s3]
+        if soundness.reduce_pattern(steps) != [steps]:
+            return
+        canonical = soundness.canonicalize_alias(
+            ThreeStepPattern((s1, s2, s3))
+        )
+        direct = analyze(canonical)
+        found = soundness.effective_vulnerabilities(steps)
+        if direct is not None:
+            assert direct in found

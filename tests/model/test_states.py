@@ -1,0 +1,122 @@
+"""Unit tests for the symbolic TLB-block states (Table 1 / Table 6)."""
+
+import pytest
+
+from repro.model import states
+from repro.model.states import (
+    Actor,
+    AddressClass,
+    BASE_STATES,
+    EXTENDED_ONLY_STATES,
+    EXTENDED_STATES,
+    Operation,
+    State,
+    state_by_name,
+)
+
+
+class TestStateAlphabet:
+    def test_base_model_has_ten_states(self):
+        assert len(BASE_STATES) == 10
+
+    def test_extended_model_has_seventeen_states(self):
+        assert len(EXTENDED_STATES) == 17
+        assert len(EXTENDED_ONLY_STATES) == 7
+
+    def test_states_are_unique(self):
+        assert len(set(EXTENDED_STATES)) == 17
+
+    def test_exactly_one_star_state(self):
+        stars = [s for s in BASE_STATES if s.is_star]
+        assert stars == [states.STAR]
+
+    def test_base_states_match_table1(self):
+        names = {s.name for s in BASE_STATES}
+        assert names == {
+            "V_u",
+            "A_a",
+            "V_a",
+            "A_a_alias",
+            "V_a_alias",
+            "A_inv",
+            "V_inv",
+            "A_d",
+            "V_d",
+            "STAR",
+        }
+
+    def test_extended_states_match_table6(self):
+        names = {s.name for s in EXTENDED_ONLY_STATES}
+        assert names == {
+            "V_u_inv",
+            "A_a_inv",
+            "V_a_inv",
+            "A_a_alias_inv",
+            "V_a_alias_inv",
+            "A_d_inv",
+            "V_d_inv",
+        }
+
+
+class TestStateProperties:
+    def test_only_victim_touches_secret(self):
+        secret_states = [s for s in EXTENDED_STATES if s.is_secret]
+        assert all(s.actor is Actor.VICTIM for s in secret_states)
+        assert {s.name for s in secret_states} == {"V_u", "V_u_inv"}
+
+    def test_secret_states_are_not_known(self):
+        for state in EXTENDED_STATES:
+            if state.is_secret or state.is_star:
+                assert not state.is_known
+            else:
+                assert state.is_known
+
+    def test_invalidation_classification(self):
+        assert states.A_INV.is_invalidation
+        assert states.V_U_INV.is_invalidation
+        assert not states.V_U.is_invalidation
+        assert not states.STAR.is_invalidation
+
+    def test_alias_classification(self):
+        assert states.A_A_ALIAS.is_alias
+        assert states.V_A_ALIAS_INV.is_alias
+        assert not states.A_A.is_alias
+
+    def test_pretty_rendering(self):
+        assert states.V_U.pretty() == "V_u"
+        assert states.A_A_ALIAS.pretty() == "A_a^alias"
+        assert states.A_INV.pretty() == "A_inv"
+        assert states.V_U_INV.pretty() == "V_u^inv"
+        assert states.STAR.pretty() == "*"
+
+
+class TestStateValidation:
+    def test_attacker_cannot_access_secret(self):
+        with pytest.raises(ValueError):
+            State(Actor.ATTACKER, Operation.ACCESS, AddressClass.U)
+
+    def test_star_has_no_actor(self):
+        with pytest.raises(ValueError):
+            State(Actor.VICTIM, Operation.STAR, AddressClass.NONE)
+
+    def test_access_needs_address(self):
+        with pytest.raises(ValueError):
+            State(Actor.VICTIM, Operation.ACCESS, AddressClass.NONE)
+
+    def test_full_flush_names_no_address(self):
+        with pytest.raises(ValueError):
+            State(Actor.VICTIM, Operation.INVALIDATE_ALL, AddressClass.A)
+
+    def test_non_star_needs_actor(self):
+        with pytest.raises(ValueError):
+            State(None, Operation.ACCESS, AddressClass.A)
+
+
+class TestStateLookup:
+    def test_lookup_roundtrip(self):
+        for state in EXTENDED_STATES:
+            assert state_by_name(state.name) is state
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            state_by_name("B_q")

@@ -1,0 +1,94 @@
+"""Tests for the Table 2 taxonomy: macro types, strategies, literature map."""
+
+from collections import Counter
+
+from repro.model.patterns import MacroType, Observation, Strategy
+from repro.model.table2 import (
+    KNOWN_ATTACK_STRATEGIES,
+    PAPER_DEFENCE_CLAIMS,
+    TABLE2_ROWS,
+    table2_expected_classification,
+    table2_vulnerabilities,
+)
+
+
+class TestTable2Structure:
+    def test_24_rows(self):
+        assert len(TABLE2_ROWS) == 24
+        assert len(set(table2_vulnerabilities())) == 24
+
+    def test_strategy_group_sizes(self):
+        counts = Counter(strategy for _s, _o, _m, strategy in TABLE2_ROWS)
+        assert counts == {
+            Strategy.INTERNAL_COLLISION: 6,
+            Strategy.FLUSH_RELOAD: 6,
+            Strategy.EVICT_TIME: 2,
+            Strategy.PRIME_PROBE: 2,
+            Strategy.BERNSTEIN: 4,
+            Strategy.EVICT_PROBE: 2,
+            Strategy.PRIME_TIME: 2,
+        }
+
+    def test_macro_type_group_sizes(self):
+        counts = Counter(macro for _s, _o, macro, _strategy in TABLE2_ROWS)
+        assert counts == {
+            MacroType.IH: 6,
+            MacroType.EH: 6,
+            MacroType.EM: 6,
+            MacroType.IM: 6,
+        }
+
+    def test_hit_based_rows_are_fast(self):
+        for steps, observation, macro, _strategy in TABLE2_ROWS:
+            assert macro.is_hit_based == (observation is Observation.FAST)
+
+    def test_every_row_contains_the_secret_access(self):
+        for steps, _o, _m, _strategy in TABLE2_ROWS:
+            assert any(step.is_secret for step in steps)
+
+
+class TestDerivedClassification:
+    def test_macro_and_strategy_match_paper(self):
+        for vulnerability, (macro, strategy) in (
+            table2_expected_classification().items()
+        ):
+            assert vulnerability.macro_type == macro
+            assert vulnerability.strategy == strategy
+
+    def test_known_attack_attribution(self):
+        vulnerabilities = table2_vulnerabilities()
+        known = [v for v in vulnerabilities if v.known_attack is not None]
+        # 6 Internal Collision rows (Double Page Fault) + 2 Prime + Probe
+        # rows (TLBleed) = the paper's "8 map to existing attacks".
+        assert len(known) == PAPER_DEFENCE_CLAIMS["previously_published"]
+        new = [v for v in vulnerabilities if v.known_attack is None]
+        assert len(new) == PAPER_DEFENCE_CLAIMS["new"]
+
+    def test_internal_means_no_attacker_in_steps_2_and_3(self):
+        from repro.model.states import Actor
+
+        for vulnerability in table2_vulnerabilities():
+            internal = vulnerability.macro_type.is_internal
+            steps23 = vulnerability.pattern.steps[1:]
+            has_attacker = any(s.actor is Actor.ATTACKER for s in steps23)
+            assert internal == (not has_attacker)
+
+    def test_known_attack_strategy_table(self):
+        assert Strategy.INTERNAL_COLLISION in KNOWN_ATTACK_STRATEGIES
+        assert Strategy.PRIME_PROBE in KNOWN_ATTACK_STRATEGIES
+        assert len(KNOWN_ATTACK_STRATEGIES) == 2
+
+
+class TestFormatting:
+    def test_format_table_contains_all_rows(self):
+        from repro.model.patterns import format_table
+
+        text = format_table(table2_vulnerabilities())
+        assert text.count("TLB ") >= 24
+        assert "TLBleed" in text
+        assert "Double Page Fault" in text
+
+    def test_vulnerability_pretty(self):
+        vulnerability = table2_vulnerabilities()[0]
+        assert "~>" in vulnerability.pretty()
+        assert vulnerability.pretty().endswith("(fast)")

@@ -1,0 +1,117 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_design_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table4", "--designs", "XX"])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table2"],
+            ["table4", "--trials", "5"],
+            ["table7", "--evaluate"],
+            ["fig7", "--configs", "4W 32"],
+            ["table5"],
+            ["mitigations", "--trials", "5"],
+            ["sweeps"],
+            ["attack", "--designs", "SA"],
+            ["covert", "--bits", "50"],
+        ],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+
+class TestExecution:
+    def test_table2_exits_zero_and_prints_table(self, capsys):
+        assert main(["table2", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "TLB Prime + Probe" in out
+        assert "exact match with the paper's Table 2: True" in out
+
+    def test_table4_small(self, capsys):
+        assert main(["table4", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "defended rows: SA=10/24, SP=14/24, RF=24/24" in out
+
+    def test_table4_single_design(self, capsys):
+        assert main(["table4", "--trials", "10", "--designs", "SA"]) == 0
+        out = capsys.readouterr().out
+        assert "== SA TLB ==" in out and "== RF TLB ==" not in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "fit quality" in out
+
+    def test_table7_listing(self, capsys):
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "TLB Flush + Flush" in out
+
+    def test_fig7_slice(self, capsys):
+        assert (
+            main(
+                [
+                    "fig7",
+                    "--configs",
+                    "4W 32",
+                    "--rsa-runs",
+                    "3",
+                    "--spec-instructions",
+                    "20000",
+                    "--designs",
+                    "SA",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MPKI" in out
+
+    def test_attack(self, capsys):
+        assert main(["attack", "--designs", "SA", "--key-bits", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "FULL KEY RECOVERED" in out
+
+    def test_covert(self, capsys):
+        assert main(["covert", "--bits", "40", "--designs", "SA"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity" in out
+
+    def test_mitigations(self, capsys):
+        assert main(["mitigations", "--trials", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Sanctum" in out
+
+
+class TestExtensionCommands:
+    def test_hierarchy_command(self, capsys):
+        assert main(["hierarchy", "--trials", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "RF L1 + RF L2" in out
+
+    def test_largepages_command(self, capsys):
+        assert main(["largepages", "--trials", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "2 MiB" in out
+
+    def test_table7_without_evaluation_is_fast(self, capsys):
+        assert main(["table7"]) == 0
+        out = capsys.readouterr().out
+        assert "measured defence" not in out

@@ -1,0 +1,129 @@
+"""Tests for TLB configuration and replacement policy plumbing."""
+
+import pytest
+
+from repro.tlb import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementKind,
+    TLBConfig,
+    TLBEntry,
+    fully_associative,
+    make_policy,
+    single_entry,
+)
+
+
+class TestTLBConfig:
+    def test_paper_security_configuration(self):
+        # Section 5.3: 8-way, 32-entry -> 4 sets.
+        config = TLBConfig(entries=32, ways=8)
+        assert config.sets == 4
+        assert not config.fully_associative
+
+    def test_fully_associative_has_one_set(self):
+        config = fully_associative(32)
+        assert config.sets == 1
+        assert config.fully_associative
+        assert config.set_index(12345) == 0
+
+    def test_single_entry(self):
+        config = single_entry()
+        assert config.entries == 1
+        assert config.label() == "1E"
+
+    def test_labels_match_figure7(self):
+        assert TLBConfig(entries=32, ways=4).label() == "4W 32"
+        assert TLBConfig(entries=128, ways=2).label() == "2W 128"
+        assert fully_associative(128).label() == "FA 128"
+
+    def test_set_index_uses_low_vpn_bits(self):
+        config = TLBConfig(entries=32, ways=4)  # 8 sets
+        assert config.set_index(0) == 0
+        assert config.set_index(7) == 7
+        assert config.set_index(8) == 0
+        assert config.set_index(0x123) == 0x123 % 8
+
+    def test_page_size(self):
+        assert TLBConfig().page_size == 4096
+
+    @pytest.mark.parametrize(
+        "entries,ways", [(0, 1), (32, 0), (32, 5), (-4, 2), (2, 4)]
+    )
+    def test_invalid_geometry_rejected(self, entries, ways):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=entries, ways=ways)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TLBConfig(hit_latency=-1)
+
+
+class TestReplacementPolicies:
+    def _entries(self, stamps):
+        made = []
+        for index, (used, filled) in enumerate(stamps):
+            entry = TLBEntry()
+            entry.fill(vpn=index, ppn=index, asid=0, now=filled)
+            entry.last_used = used
+            made.append(entry)
+        return made
+
+    def test_lru_prefers_least_recent_use(self):
+        entries = self._entries([(5, 1), (2, 2), (9, 3)])
+        assert LRUPolicy().select(entries) is entries[1]
+
+    def test_fifo_prefers_oldest_fill(self):
+        entries = self._entries([(5, 3), (2, 2), (9, 1)])
+        assert FIFOPolicy().select(entries) is entries[2]
+
+    def test_invalid_slot_always_preferred(self):
+        entries = self._entries([(5, 1), (2, 2)])
+        entries.append(TLBEntry())  # invalid
+        assert LRUPolicy().select(entries) is entries[2]
+        assert FIFOPolicy().select(entries) is entries[2]
+
+    def test_random_policy_is_seeded(self):
+        import random
+
+        entries = self._entries([(1, 1), (2, 2), (3, 3), (4, 4)])
+        first = RandomPolicy(random.Random(7))
+        second = RandomPolicy(random.Random(7))
+        picks_a = [first.select(entries).vpn for _ in range(20)]
+        picks_b = [second.select(entries).vpn for _ in range(20)]
+        assert picks_a == picks_b
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPolicy().select([])
+
+    def test_make_policy_dispatch(self):
+        assert isinstance(make_policy(ReplacementKind.LRU), LRUPolicy)
+        assert isinstance(make_policy(ReplacementKind.FIFO), FIFOPolicy)
+        assert isinstance(make_policy(ReplacementKind.RANDOM), RandomPolicy)
+
+
+class TestEntry:
+    def test_match_requires_valid_vpn_and_asid(self):
+        entry = TLBEntry()
+        entry.fill(vpn=3, ppn=7, asid=1, now=1)
+        assert entry.matches(3, 1)
+        assert not entry.matches(3, 2)  # ASID mismatch
+        assert not entry.matches(4, 1)  # page mismatch
+        entry.invalidate()
+        assert not entry.matches(3, 1)
+
+    def test_invalidate_clears_sec(self):
+        entry = TLBEntry()
+        entry.fill(vpn=3, ppn=7, asid=1, now=1, sec=True)
+        assert entry.sec
+        entry.invalidate()
+        assert not entry.sec
+
+    def test_snapshot_is_independent(self):
+        entry = TLBEntry()
+        entry.fill(vpn=3, ppn=7, asid=1, now=1)
+        copy = entry.snapshot()
+        entry.invalidate()
+        assert copy.valid and copy.vpn == 3

@@ -1,0 +1,131 @@
+"""Tests for the two-level TLB hierarchy."""
+
+import random
+
+import pytest
+
+from repro.tlb import (
+    IdentityTranslator,
+    RandomFillTLB,
+    SetAssociativeTLB,
+    TLBConfig,
+    TwoLevelTLB,
+)
+
+L1 = TLBConfig(entries=8, ways=2, hit_latency=1)
+L2 = TLBConfig(entries=32, ways=4, hit_latency=8)
+
+
+def make_hierarchy():
+    return TwoLevelTLB(SetAssociativeTLB(L1), SetAssociativeTLB(L2))
+
+
+class TestAccessPath:
+    def test_three_latency_classes(self):
+        tlb = make_hierarchy()
+        translator = IdentityTranslator(cycles=30)
+        cold = tlb.translate(5, 1, translator)  # L1 miss, L2 miss, walk
+        assert cold.miss and cold.cycles == 1 + 8 + 30
+        warm = tlb.translate(5, 1, translator)  # L1 hit
+        assert warm.hit and warm.cycles == 1
+        # Evict from L1 only: pages 5, 9, 13 share L1 set 1 (4 sets).
+        tlb.translate(9, 1, translator)
+        tlb.translate(13, 1, translator)
+        l2_hit = tlb.translate(5, 1, translator)  # L1 miss, L2 hit
+        assert l2_hit.cycles == 1 + 8
+        assert tlb.l2.stats.misses == 3  # only the cold walks
+
+    def test_walk_counter_counts_l2_misses(self):
+        tlb = make_hierarchy()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        tlb.translate(5, 1, translator)
+        assert tlb.stats.misses == 1  # the hierarchy's walk counter
+
+    def test_inclusive_fill_on_walk(self):
+        tlb = make_hierarchy()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        assert tlb.l1.resident(5, 1)
+        assert tlb.l2.resident(5, 1)
+
+    def test_asid_isolation_preserved(self):
+        tlb = make_hierarchy()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        result = tlb.translate(5, 2, translator)
+        assert result.miss and result.cycles == 1 + 8 + 30
+
+
+class TestMaintenance:
+    def test_flush_all_clears_both_levels(self):
+        tlb = make_hierarchy()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        tlb.flush_all()
+        assert not tlb.resident(5, 1)
+        assert tlb.l1.occupancy() == 0 and tlb.l2.occupancy() == 0
+
+    def test_flush_asid(self):
+        tlb = make_hierarchy()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        tlb.translate(6, 2, translator)
+        tlb.flush_asid(1)
+        assert not tlb.resident(5, 1)
+        assert tlb.resident(6, 2)
+
+    def test_invalidate_page_covers_both_levels(self):
+        tlb = make_hierarchy()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        result = tlb.invalidate_page(5, 1)
+        assert result.hit
+        assert not tlb.resident(5, 1)
+        absent = tlb.invalidate_page(5, 1)
+        assert not absent.hit
+
+    def test_distinct_levels_required(self):
+        l1 = SetAssociativeTLB(L1)
+        with pytest.raises(ValueError):
+            TwoLevelTLB(l1, l1)
+
+
+class TestSecureLevels:
+    def test_rf_l1_no_fill_still_caches_in_l2(self):
+        # The leak mechanism of the hierarchy ablation: the RF L1 refuses
+        # to cache the secret, but the L2 on its walk path does.
+        l1 = RandomFillTLB(
+            L1, victim_asid=1, sbase=0x100, ssize=3, rng=random.Random(1)
+        )
+        tlb = TwoLevelTLB(l1, SetAssociativeTLB(L2))
+        translator = IdentityTranslator()
+        result = tlb.translate(0x100, 1, translator)
+        assert result.miss and not result.filled  # the L1 no-fill path ran
+        assert tlb.l2.resident(0x100, 1)  # ... but the L2 cached the secret
+
+    def test_secure_region_forwarded_to_rf_levels(self):
+        l1 = RandomFillTLB(L1, victim_asid=1, rng=random.Random(1))
+        l2 = RandomFillTLB(L2, victim_asid=1, rng=random.Random(2))
+        tlb = TwoLevelTLB(l1, l2)
+        tlb.set_secure_region(0x100, 3, victim_asid=1)
+        assert l1.is_secure(0x101, 1)
+        assert l2.is_secure(0x101, 1)
+
+    def test_rf_l2_does_not_cache_the_secret(self):
+        l1 = RandomFillTLB(
+            L1, victim_asid=1, sbase=0x100, ssize=3, rng=random.Random(1)
+        )
+        l2 = RandomFillTLB(
+            L2, victim_asid=1, sbase=0x100, ssize=3, rng=random.Random(2)
+        )
+        tlb = TwoLevelTLB(l1, l2)
+        translator = IdentityTranslator()
+        cached_secret = 0
+        for _ in range(20):
+            tlb.translate(0x100, 1, translator)
+            if any(e.vpn == 0x100 for e in tlb.l2.entries()):
+                cached_secret += 1
+            tlb.flush_all()
+        # Only when the RFE randomly draws the requested page itself.
+        assert cached_secret < 20

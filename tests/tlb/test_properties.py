@@ -1,0 +1,161 @@
+"""Property-based invariants shared by every TLB design."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tlb import (
+    IdentityTranslator,
+    RandomFillTLB,
+    SetAssociativeTLB,
+    StaticPartitionTLB,
+    TLBConfig,
+)
+
+VICTIM = 1
+
+geometries = st.sampled_from(
+    [(4, 1), (8, 2), (8, 8), (16, 4), (32, 8), (32, 32), (1, 1)]
+)
+access_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),  # vpn
+        st.integers(min_value=1, max_value=3),  # asid
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+def build_tlbs(entries, ways, seed=0):
+    config = TLBConfig(entries=entries, ways=ways)
+    tlbs = [SetAssociativeTLB(config)]
+    if ways >= 2:
+        tlbs.append(StaticPartitionTLB(config, victim_asid=VICTIM))
+    tlbs.append(
+        RandomFillTLB(
+            config,
+            victim_asid=VICTIM,
+            sbase=50,
+            ssize=5,
+            rng=random.Random(seed),
+        )
+    )
+    return tlbs
+
+
+class TestUniversalInvariants:
+    @given(geometries, access_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, geometry, accesses):
+        entries, ways = geometry
+        for tlb in build_tlbs(entries, ways):
+            translator = IdentityTranslator()
+            for vpn, asid in accesses:
+                tlb.translate(vpn, asid, translator)
+            assert 0 <= tlb.occupancy() <= entries
+
+    @given(geometries, access_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_stats_balance(self, geometry, accesses):
+        entries, ways = geometry
+        for tlb in build_tlbs(entries, ways):
+            translator = IdentityTranslator()
+            for vpn, asid in accesses:
+                tlb.translate(vpn, asid, translator)
+            stats = tlb.stats
+            assert stats.hits + stats.misses == stats.accesses == len(accesses)
+            assert stats.misses == sum(stats.misses_by_asid.values())
+            # Every miss either fills the requested page or is an RF no-fill.
+            assert stats.fills + stats.no_fills >= stats.misses
+
+    @given(geometries, access_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_at_most_one_copy_of_a_translation(self, geometry, accesses):
+        entries, ways = geometry
+        for tlb in build_tlbs(entries, ways):
+            translator = IdentityTranslator()
+            for vpn, asid in accesses:
+                tlb.translate(vpn, asid, translator)
+            keys = [(e.vpn, e.asid) for e in tlb.entries()]
+            assert len(keys) == len(set(keys))
+
+    @given(geometries, access_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_repeat_access_hits_when_filled(self, geometry, accesses):
+        # Determinism of the hit path: immediately repeating a filled access
+        # must hit, for every design.
+        entries, ways = geometry
+        for tlb in build_tlbs(entries, ways):
+            translator = IdentityTranslator()
+            for vpn, asid in accesses:
+                first = tlb.translate(vpn, asid, translator)
+                if first.miss and first.filled:
+                    assert tlb.translate(vpn, asid, translator).hit
+
+    @given(geometries, access_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_flush_empties_everything(self, geometry, accesses):
+        entries, ways = geometry
+        for tlb in build_tlbs(entries, ways):
+            translator = IdentityTranslator()
+            for vpn, asid in accesses:
+                tlb.translate(vpn, asid, translator)
+            tlb.flush_all()
+            assert tlb.occupancy() == 0
+
+    @given(geometries, access_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_timing_depends_only_on_hit_or_miss(self, geometry, accesses):
+        # The architectural channel: hits cost hit_latency, misses cost
+        # hit_latency + walk.  Nothing else may perturb the timing.
+        entries, ways = geometry
+        for tlb in build_tlbs(entries, ways):
+            translator = IdentityTranslator(cycles=30)
+            for vpn, asid in accesses:
+                result = tlb.translate(vpn, asid, translator)
+                assert result.cycles == (1 if result.hit else 31)
+
+
+class TestStaticPartitionInvariant:
+    @given(access_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_partitions_never_mix(self, accesses):
+        config = TLBConfig(entries=16, ways=4)
+        tlb = StaticPartitionTLB(config, victim_asid=VICTIM)
+        translator = IdentityTranslator()
+        for vpn, asid in accesses:
+            tlb.translate(vpn, asid, translator)
+        for set_index, tlb_set in enumerate(tlb._sets):
+            for way, entry in enumerate(tlb_set):
+                if not entry.valid:
+                    continue
+                if way < tlb.victim_ways:
+                    assert entry.asid == VICTIM
+                else:
+                    assert entry.asid != VICTIM
+
+
+class TestRandomFillInvariant:
+    @given(access_lists, st.integers(min_value=0, max_value=9))
+    @settings(max_examples=60, deadline=None)
+    def test_secure_pages_never_enter_tlb_as_requested(self, accesses, seed):
+        # Only RFE-drawn pages may carry the Sec bit, and every secure entry
+        # must lie inside the secure region.
+        config = TLBConfig(entries=8, ways=2)
+        tlb = RandomFillTLB(
+            config,
+            victim_asid=VICTIM,
+            sbase=50,
+            ssize=5,
+            rng=random.Random(seed),
+        )
+        translator = IdentityTranslator()
+        for vpn, asid in accesses:
+            result = tlb.translate(vpn, asid, translator)
+            if tlb.is_secure(vpn, asid):
+                assert not result.filled
+        for entry in tlb.entries():
+            if entry.sec:
+                assert 50 <= entry.vpn < 55
+                assert entry.asid == VICTIM

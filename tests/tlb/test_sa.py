@@ -1,0 +1,120 @@
+"""Behavioural tests for the standard set-associative TLB."""
+
+import pytest
+
+from repro.tlb import IdentityTranslator, SetAssociativeTLB, TLBConfig
+
+
+@pytest.fixture
+def translator():
+    return IdentityTranslator(cycles=30)
+
+
+@pytest.fixture
+def tlb():
+    return SetAssociativeTLB(TLBConfig(entries=8, ways=2))  # 4 sets
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self, tlb, translator):
+        first = tlb.translate(vpn=5, asid=1, translator=translator)
+        assert first.miss and first.cycles == 31 and first.filled
+        second = tlb.translate(vpn=5, asid=1, translator=translator)
+        assert second.hit and second.cycles == 1
+
+    def test_hit_requires_matching_asid(self, tlb, translator):
+        tlb.translate(vpn=5, asid=1, translator=translator)
+        other = tlb.translate(vpn=5, asid=2, translator=translator)
+        assert other.miss
+
+    def test_translation_result_is_walked_ppn(self, tlb, translator):
+        result = tlb.translate(vpn=9, asid=1, translator=translator)
+        assert result.ppn == 9  # IdentityTranslator maps vpn -> vpn
+
+    def test_stats_track_hits_and_misses(self, tlb, translator):
+        tlb.translate(5, 1, translator)
+        tlb.translate(5, 1, translator)
+        tlb.translate(6, 1, translator)
+        assert tlb.stats.accesses == 3
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 2
+        assert tlb.stats.misses_by_asid == {1: 2}
+
+
+class TestReplacement:
+    def test_lru_eviction_within_set(self, tlb, translator):
+        # Set 0 holds VPNs 0, 4, 8, ... -- two ways available.
+        tlb.translate(0, 1, translator)
+        tlb.translate(4, 1, translator)
+        tlb.translate(0, 1, translator)  # make 0 most recently used
+        result = tlb.translate(8, 1, translator)  # evicts 4 (LRU)
+        assert result.evicted is not None and result.evicted.vpn == 4
+        assert tlb.resident(0, 1)
+        assert not tlb.resident(4, 1)
+        assert tlb.resident(8, 1)
+
+    def test_cross_process_eviction_is_possible(self, tlb, translator):
+        # The standard TLB lets any process evict any other's entries --
+        # the basis of the external miss-based attacks.
+        tlb.translate(0, 1, translator)
+        tlb.translate(4, 2, translator)
+        tlb.translate(8, 2, translator)  # set 0 full; evicts asid 1's entry
+        assert not tlb.resident(0, 1)
+
+    def test_different_sets_do_not_interfere(self, tlb, translator):
+        tlb.translate(0, 1, translator)
+        tlb.translate(1, 1, translator)
+        tlb.translate(2, 1, translator)
+        tlb.translate(3, 1, translator)
+        assert tlb.occupancy() == 4
+        assert all(tlb.resident(v, 1) for v in range(4))
+
+    def test_fully_associative_uses_whole_capacity(self, translator):
+        from repro.tlb import fully_associative
+
+        fa = SetAssociativeTLB(fully_associative(8))
+        for vpn in range(8):
+            fa.translate(vpn, 1, translator)
+        assert fa.occupancy() == 8
+        assert all(fa.resident(v, 1) for v in range(8))
+
+    def test_single_entry_thrashes(self, translator):
+        from repro.tlb import single_entry
+
+        tiny = SetAssociativeTLB(single_entry())
+        tiny.translate(0, 1, translator)
+        tiny.translate(1, 1, translator)
+        assert not tiny.resident(0, 1)
+        assert tiny.resident(1, 1)
+
+
+class TestMaintenance:
+    def test_flush_all(self, tlb, translator):
+        for vpn in range(4):
+            tlb.translate(vpn, 1, translator)
+        tlb.flush_all()
+        assert tlb.occupancy() == 0
+        assert tlb.stats.flushes == 1
+
+    def test_flush_asid_is_selective(self, tlb, translator):
+        tlb.translate(0, 1, translator)
+        tlb.translate(1, 2, translator)
+        tlb.flush_asid(1)
+        assert not tlb.resident(0, 1)
+        assert tlb.resident(1, 2)
+
+    def test_targeted_invalidation_timing(self, tlb, translator):
+        # Appendix B: invalidating a present entry takes an extra cycle.
+        tlb.translate(5, 1, translator)
+        present = tlb.invalidate_page(5, 1)
+        assert present.hit and present.cycles == 2
+        absent = tlb.invalidate_page(5, 1)
+        assert not absent.hit and absent.cycles == 1
+        assert tlb.stats.invalidations == 2
+        assert tlb.stats.invalidation_hits == 1
+
+    def test_entries_returns_copies(self, tlb, translator):
+        tlb.translate(5, 1, translator)
+        entries = tlb.entries()
+        entries[0].invalidate()
+        assert tlb.resident(5, 1)

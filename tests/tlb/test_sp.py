@@ -1,0 +1,95 @@
+"""Behavioural tests for the Static-Partition TLB (Section 4.1)."""
+
+import pytest
+
+from repro.tlb import IdentityTranslator, StaticPartitionTLB, TLBConfig
+
+VICTIM = 1
+ATTACKER = 2
+
+
+@pytest.fixture
+def translator():
+    return IdentityTranslator()
+
+
+@pytest.fixture
+def tlb():
+    # 4 ways per set, 2 victim + 2 attacker (the paper's 50% default).
+    return StaticPartitionTLB(TLBConfig(entries=16, ways=4), victim_asid=VICTIM)
+
+
+class TestPartitioning:
+    def test_default_split_is_half(self, tlb):
+        assert tlb.victim_ways == 2
+
+    def test_attacker_cannot_evict_victim(self, tlb, translator):
+        # Fill the victim partition of set 0 (VPNs = multiples of 4).
+        tlb.translate(0, VICTIM, translator)
+        tlb.translate(4, VICTIM, translator)
+        # Attacker hammers the same set far beyond its own partition size.
+        for vpn in range(8, 48, 4):
+            tlb.translate(vpn, ATTACKER, translator)
+        assert tlb.resident(0, VICTIM)
+        assert tlb.resident(4, VICTIM)
+
+    def test_victim_cannot_evict_attacker(self, tlb, translator):
+        tlb.translate(0, ATTACKER, translator)
+        tlb.translate(4, ATTACKER, translator)
+        for vpn in range(8, 48, 4):
+            tlb.translate(vpn, VICTIM, translator)
+        assert tlb.resident(0, ATTACKER)
+        assert tlb.resident(4, ATTACKER)
+
+    def test_victim_contends_within_its_partition(self, tlb, translator):
+        # Two victim ways per set: a third conflicting page evicts the LRU.
+        tlb.translate(0, VICTIM, translator)
+        tlb.translate(4, VICTIM, translator)
+        tlb.translate(8, VICTIM, translator)
+        assert not tlb.resident(0, VICTIM)
+        assert tlb.resident(4, VICTIM)
+        assert tlb.resident(8, VICTIM)
+
+    def test_all_non_victim_asids_share_attacker_partition(self, tlb, translator):
+        tlb.translate(0, 2, translator)
+        tlb.translate(4, 3, translator)
+        tlb.translate(8, 4, translator)  # evicts ASID 2's entry (LRU)
+        assert not tlb.resident(0, 2)
+        assert tlb.resident(4, 3)
+        assert tlb.resident(8, 4)
+
+    def test_hits_are_identical_to_sa(self, tlb, translator):
+        tlb.translate(0, VICTIM, translator)
+        assert tlb.translate(0, VICTIM, translator).hit
+        # Cross-process lookups still miss on ASID.
+        assert tlb.translate(0, ATTACKER, translator).miss
+
+
+class TestConfiguration:
+    def test_custom_split(self, translator):
+        tlb = StaticPartitionTLB(
+            TLBConfig(entries=16, ways=4), victim_asid=VICTIM, victim_ways=3
+        )
+        tlb.translate(0, VICTIM, translator)
+        tlb.translate(4, VICTIM, translator)
+        tlb.translate(8, VICTIM, translator)
+        assert tlb.occupancy() == 3
+        # Attacker has a single way left per set.
+        tlb.translate(12, ATTACKER, translator)
+        tlb.translate(16, ATTACKER, translator)
+        assert not tlb.resident(12, ATTACKER)
+        assert tlb.resident(16, ATTACKER)
+
+    @pytest.mark.parametrize("bad_ways", [0, 4, 5, -1])
+    def test_degenerate_partitions_rejected(self, bad_ways):
+        with pytest.raises(ValueError):
+            StaticPartitionTLB(
+                TLBConfig(entries=16, ways=4), victim_ways=bad_ways
+            )
+
+    def test_effective_capacity_is_halved(self, tlb, translator):
+        # The paper's explanation of the SP TLB's ~3x MPKI: each side only
+        # ever uses its own half of the ways.
+        for vpn in range(64):
+            tlb.translate(vpn, VICTIM, translator)
+        assert tlb.occupancy() <= 8  # half of 16 entries

@@ -1,0 +1,147 @@
+"""Tests for the RSA workload: real crypto + the Figure 5 access pattern."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.rsa import (
+    MPIBuffers,
+    RSAWorkload,
+    TracedModExp,
+    generate_key,
+    generate_prime,
+    is_probable_prime,
+)
+
+
+class TestNumberTheory:
+    def test_small_primes_recognized(self):
+        rng = random.Random(0)
+        for prime in (2, 3, 5, 7, 11, 101, 7919):
+            assert is_probable_prime(prime, rng)
+        for composite in (0, 1, 4, 9, 100, 7917, 561, 41041):  # incl. Carmichael
+            assert not is_probable_prime(composite, rng)
+
+    def test_generated_prime_has_requested_bits(self):
+        rng = random.Random(1)
+        for bits in (8, 16, 64):
+            prime = generate_prime(bits, rng)
+            assert prime.bit_length() == bits
+            assert is_probable_prime(prime, rng)
+
+    @given(st.integers(min_value=16, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_keygen_roundtrip(self, message_seed):
+        key = generate_key(bits=64, seed=3)
+        message = message_seed % key.n
+        assert key.decrypt(key.encrypt(message)) == message
+
+    def test_keygen_is_deterministic(self):
+        assert generate_key(bits=64, seed=9) == generate_key(bits=64, seed=9)
+
+    def test_keygen_rejects_odd_sizes(self):
+        with pytest.raises(ValueError):
+            generate_key(bits=63)
+        with pytest.raises(ValueError):
+            generate_key(bits=8)
+
+
+class TestTracedModExp:
+    def test_result_matches_builtin_pow(self):
+        traced = TracedModExp(base=1234, exponent=0b1011001, modulus=99991)
+        list(traced.run())
+        assert traced.result == pow(1234, 0b1011001, 99991)
+
+    @given(
+        st.integers(min_value=2, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=2, max_value=10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_result_property(self, base, exponent, modulus):
+        traced = TracedModExp(base, exponent, modulus)
+        list(traced.run())
+        assert traced.result == pow(base, exponent, modulus)
+
+    def test_tp_page_touched_only_on_one_bits(self):
+        buffers = MPIBuffers()
+        exponent = 0b1100101
+        traced = TracedModExp(5, exponent, 99991, buffers)
+        touches_by_bit = {}
+        current_bit = None
+        for kind, arg1, arg2 in traced.run():
+            if kind == "bit":
+                current_bit = arg1
+                touches_by_bit[current_bit] = 0
+            elif arg2 == buffers.tp_vpn:
+                touches_by_bit[current_bit] += 1
+        for index, touched in touches_by_bit.items():
+            bit = (exponent >> index) & 1
+            assert (touched > 0) == bool(bit), f"bit {index}"
+
+    def test_bit_windows_cover_all_exponent_bits(self):
+        exponent = 0b10110
+        traced = TracedModExp(5, exponent, 99991)
+        bits = [arg1 for kind, arg1, _ in traced.run() if kind == "bit"]
+        assert bits == [4, 3, 2, 1, 0]
+
+    def test_square_and_multiply_touch_rp_xp_every_bit(self):
+        buffers = MPIBuffers()
+        traced = TracedModExp(5, 0b101, 99991, buffers)
+        per_bit_pages = []
+        pages = set()
+        for kind, arg1, arg2 in traced.run():
+            if kind == "bit":
+                if pages:
+                    per_bit_pages.append(pages)
+                pages = set()
+            else:
+                pages.add(arg2)
+        per_bit_pages.append(pages)
+        for pages in per_bit_pages:
+            assert buffers.rp_vpn in pages
+            assert buffers.xp_vpn in pages
+
+    def test_zero_exponent(self):
+        traced = TracedModExp(5, 0, 7)
+        assert list(traced.run()) == []
+        assert traced.result == 1
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            TracedModExp(2, 3, 0)
+        with pytest.raises(ValueError):
+            TracedModExp(2, -1, 7)
+
+
+class TestRSAWorkload:
+    def test_events_verify_decryption(self):
+        key = generate_key(bits=32, seed=5)
+        workload = RSAWorkload(key=key, runs=2)
+        events = list(workload.events(random.Random(0)))
+        assert events  # The internal assert verified each decryption.
+
+    def test_trace_confined_to_mpi_pages(self):
+        key = generate_key(bits=32, seed=5)
+        workload = RSAWorkload(key=key, runs=1)
+        pages = {vpn for _gap, vpn in workload.events(random.Random(0))}
+        assert pages <= set(workload.buffers.pages())
+
+    def test_secure_region_covers_three_pages(self):
+        key = generate_key(bits=32, seed=5)
+        workload = RSAWorkload(key=key, runs=1)
+        sbase, ssize = workload.secure_region()
+        assert ssize == 3
+        assert set(range(sbase, sbase + ssize)) == set(workload.buffers.pages())
+
+    def test_more_runs_produce_proportional_traces(self):
+        key = generate_key(bits=32, seed=5)
+        one = len(list(RSAWorkload(key=key, runs=1).events(random.Random(0))))
+        three = len(list(RSAWorkload(key=key, runs=3).events(random.Random(0))))
+        assert three == 3 * one
+
+    def test_zero_runs_rejected(self):
+        key = generate_key(bits=32, seed=5)
+        with pytest.raises(ValueError):
+            RSAWorkload(key=key, runs=0)
