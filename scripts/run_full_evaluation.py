@@ -1,141 +1,33 @@
 #!/usr/bin/env python3
 """Regenerate every full-fidelity result under results/.
 
-Runs the paper's complete protocols -- the 500-trial Table 4, the
-200-trial Appendix B evaluation, the full 19-configuration Figure 7 grid,
-the 50/100/150 decryption series, the Table 5 area model, the mitigation
+Thin wrapper over the parallel runner (:mod:`repro.runner`): runs the
+paper's complete protocols -- the 500-trial Table 4, the 200-trial
+Appendix B evaluation, the full 19-configuration Figure 7 grid, the
+50/100/150 decryption series, the Table 5 area model, the mitigation
 ladder, the design-space sweeps, and all end-to-end attacks -- writing
-text and CSV outputs to results/.  Takes a few minutes on one core.
+text and CSV outputs to results/.
 
-Run from the repository root:  python scripts/run_full_evaluation.py
+Artifacts are byte-identical for any worker count (every cell seeds its
+own RNG from its identity), so ``--jobs 1`` reproduces the historical
+serial behaviour exactly while ``--jobs N`` uses N cores.
+
+Run from the repository root:
+
+    python scripts/run_full_evaluation.py [--jobs N] [--no-cache]
+
+or, equivalently:  python -m repro run-all [--jobs N]
 """
 
-import sys, time
-t0 = time.time()
+import sys
+from pathlib import Path
 
-def log(msg):
-    print(f"[{time.time()-t0:7.1f}s] {msg}", flush=True)
+try:
+    import repro  # noqa: F401
+except ImportError:  # source checkout without an installed package
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.security import SecurityEvaluator, EvaluationConfig, TLBKind, format_table4, defended_counts
-from repro.perf import figure7, format_figure7, headline_ratios, figure7_chart, AreaModel, PerfSettings, export_figure7_csv
-from repro.perf.export import export_table4_csv
+from repro.cli import main
 
-log("Table 4: 24 rows x 3 designs x (500 mapped + 500 unmapped) trials")
-ev = SecurityEvaluator(EvaluationConfig(trials=500))
-table = ev.evaluate_table4()
-with open("results/table4_full.txt", "w") as f:
-    f.write(format_table4(table))
-export_table4_csv(table, "results/table4_full.csv")
-log(f"table4 done: {defended_counts(table)}")
-
-log("Table 7 evaluation: 48 rows x 3 designs x 200 trials")
-with open("results/table7_eval.txt", "w") as f:
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        results = ev.evaluate_extended(kind, trials=200)
-        defended = sum(1 for r in results if r.defended)
-        f.write(f"== {kind.value}: defended {defended}/48 ==\n")
-        for r in results:
-            if not r.defended:
-                f.write(f"  leak: {r.vulnerability.pretty()}  p1*={r.estimate.p1:.2f} p2*={r.estimate.p2:.2f} C*={r.estimate.capacity:.2f}\n")
-log("table7 done")
-
-log("Figure 7: full scenario grid, 19 configurations, 50 decryptions")
-settings = PerfSettings(spec_instructions=150_000, key_bits=128)
-cells = figure7(rsa_runs=(50,), settings=settings)
-with open("results/fig7_full.txt", "w") as f:
-    f.write(format_figure7(cells))
-    f.write("\n\nheadline ratios:\n")
-    for name, value in sorted(headline_ratios(cells).items()):
-        f.write(f"  {name:30} {value:.3f}\n")
-    f.write("\n\n")
-    f.write(figure7_chart(cells, "mpki"))
-    f.write("\n\n")
-    f.write(figure7_chart(cells, "ipc"))
-export_figure7_csv(cells, "results/fig7_full.csv")
-log("fig7 grid done")
-
-log("Figure 7: run-count series 50/100/150 on 4W 32")
-from repro.perf import Scenario
-from repro.workloads.spec import OMNETPP
-series = figure7(rsa_runs=(50, 100, 150), settings=settings,
-                 scenarios=[Scenario(secure=True), Scenario(secure=True, spec=OMNETPP)],
-                 config_labels=("4W 32",))
-with open("results/fig7_runs_series.txt", "w") as f:
-    f.write(format_figure7(series))
-log("series done")
-
-log("Table 5 area model")
-with open("results/table5.txt", "w") as f:
-    model = AreaModel()
-    f.write(model.table5())
-    worst = model.max_relative_error()
-    f.write(f"\nfit: worst LUT err {worst[0]:.1%}, worst reg err {worst[1]:.1%}\n")
-
-log("Mitigation ladder (200 trials)")
-from repro.ablations import (evaluate_all_mitigations, format_mitigation_ladder,
-                             evaluate_large_pages, format_large_page_comparison,
-                             evaluate_hierarchies, format_hierarchy_results,
-                             sweep_sp_partition, sweep_rf_region, sweep_replacement_policy,
-                             format_partition_sweep, format_region_sweep)
-with open("results/mitigations.txt", "w") as f:
-    f.write(format_mitigation_ladder(evaluate_all_mitigations(trials=200)))
-    f.write("\n\n")
-    f.write(format_large_page_comparison(evaluate_large_pages(trials=200), 10, 13))
-    f.write("\n\n")
-    f.write(format_hierarchy_results(evaluate_hierarchies(trials=100)))
-log("mitigations done")
-
-log("Sweeps")
-with open("results/sweeps.txt", "w") as f:
-    f.write("SP partition split:\n")
-    f.write(format_partition_sweep(sweep_sp_partition()))
-    f.write("\n\nRF region size:\n")
-    f.write(format_region_sweep(sweep_rf_region(trials=200)))
-    f.write("\n\nreplacement policy vs TLBleed:\n")
-    for p in sweep_replacement_policy():
-        f.write(f"  {p.policy.value:8} accuracy {p.accuracy:.1%}{'  full recovery' if p.recovered_exactly else ''}\n")
-log("sweeps done")
-
-log("Attacks")
-from repro.attacks import tlbleed_attack, eddsa_attack, multi_trace_attack, scan_secret_page, transmit, parallel_transmit, random_message
-from repro.workloads.rsa import generate_key
-key = generate_key(bits=128, seed=11)
-msg = random_message(500, seed=5)
-with open("results/attacks.txt", "w") as f:
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        r = tlbleed_attack(kind, key=key)
-        f.write(f"TLBleed (128-bit RSA)     {kind.value}: accuracy {r.accuracy:.3f} exact={r.recovered_exactly}\n")
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        r = multi_trace_attack(kind, key=key, traces=15)
-        f.write(f"TLBleed 15-trace voting   {kind.value}: accuracy {r.accuracy:.3f} exact={r.recovered_exactly}\n")
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        r = eddsa_attack(kind)
-        f.write(f"EdDSA scalar (64-bit)     {kind.value}: accuracy {r.accuracy:.3f} exact={r.recovered_exactly}\n")
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        ok = sum(scan_secret_page(kind, seed=s).correct for s in range(50))
-        f.write(f"Double Page Fault scan    {kind.value}: correct {ok}/50\n")
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        c = transmit(msg, kind)
-        f.write(f"covert serial             {kind.value}: BER {c.bit_error_rate:.3f} capacity {c.empirical_capacity():.3f} rate {c.bits_per_kilocycle:.2f} b/kc\n")
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        c = parallel_transmit(msg, kind)
-        f.write(f"covert parallel           {kind.value}: BER {c.bit_error_rate:.3f} capacity {c.empirical_capacity():.3f}\n")
-log("attacks done; ALL COMPLETE")
-
-log("I-TLB / set-profiling attacks and walk-latency sweep")
-from repro.attacks import itlb_attack, profile_secret_set
-from repro.ablations import sweep_walk_latency
-with open("results/attacks.txt", "a") as f:
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        r = itlb_attack(kind, hardened=False, key=key)
-        f.write(f"I-TLB (unhardened S&M)    {kind.value}: accuracy {r.accuracy:.3f} exact={r.recovered_exactly}\n")
-    r = itlb_attack(TLBKind.SA, hardened=True, key=key)
-    f.write(f"I-TLB (hardened, Fig. 5)  SA: accuracy {r.accuracy:.3f} exact={r.recovered_exactly}\n")
-    for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF):
-        ok = sum(profile_secret_set(kind, secret_vpn=0x100 + s % 8, seed=s).correct for s in range(40))
-        f.write(f"set profiling (40 seeds)  {kind.value}: correct {ok}/40\n")
-with open("results/sweeps.txt", "a") as f:
-    f.write("\nwalk-latency sensitivity (omnetpp, 4W 32):\n")
-    for p in sweep_walk_latency():
-        f.write(f"  {p.cycles_per_level:3} cyc/level  IPC {p.ipc:.3f}  MPKI {p.mpki:.2f}\n")
-log("ALL SECTIONS COMPLETE")
+if __name__ == "__main__":
+    sys.exit(main(["run-all", *sys.argv[1:]]))

@@ -13,44 +13,59 @@ from .hierarchy import (
     HierarchyResult,
     evaluate_hierarchies,
     evaluate_hierarchy,
+    evaluate_hierarchy_cell,
     format_hierarchy_results,
+    hierarchy_cells,
 )
 from .large_pages import (
     LargePageResult,
     evaluate_large_pages,
     format_large_page_comparison,
+    large_page_cells,
+    run_large_page_cell,
 )
 from .mitigations import (
+    MITIGATION_SPECS,
     MitigationResult,
+    MitigationSpec,
     evaluate_all_mitigations,
     evaluate_asid_baseline,
     evaluate_flush_on_switch,
     evaluate_fully_associative,
     format_mitigation_ladder,
+    mitigation_cells,
+    run_mitigation_cell,
 )
 from .sweeps import (
     PartitionPoint,
     PolicyPoint,
     RegionPoint,
     WalkLatencyPoint,
+    replacement_policy_point,
+    rf_region_point,
+    sp_partition_point,
     sweep_walk_latency,
     format_partition_sweep,
     format_region_sweep,
     sweep_replacement_policy,
     sweep_rf_region,
     sweep_sp_partition,
+    walk_latency_point,
 )
 
 __all__ = [
     "HierarchyResult",
     "LargePageResult",
+    "MITIGATION_SPECS",
     "MitigationResult",
+    "MitigationSpec",
     "PartitionPoint",
     "PolicyPoint",
     "RegionPoint",
     "evaluate_all_mitigations",
     "evaluate_hierarchies",
     "evaluate_hierarchy",
+    "evaluate_hierarchy_cell",
     "evaluate_asid_baseline",
     "evaluate_large_pages",
     "evaluate_flush_on_switch",
@@ -60,9 +75,18 @@ __all__ = [
     "format_mitigation_ladder",
     "format_partition_sweep",
     "format_region_sweep",
+    "hierarchy_cells",
+    "large_page_cells",
+    "mitigation_cells",
+    "replacement_policy_point",
+    "rf_region_point",
+    "run_large_page_cell",
+    "run_mitigation_cell",
+    "sp_partition_point",
     "sweep_replacement_policy",
     "sweep_rf_region",
     "sweep_sp_partition",
     "sweep_walk_latency",
+    "walk_latency_point",
     "WalkLatencyPoint",
 ]

@@ -22,8 +22,9 @@ The harness re-runs the Table 4 rows over three hierarchies:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.isa import CPU, ExecutionStatus, assemble
 from repro.mmu import PageTableWalker
@@ -79,6 +80,60 @@ def _make_hierarchy(
     return TwoLevelTLB(levels[0], levels[1])
 
 
+def hierarchy_cells(
+    combinations: Tuple[Tuple[TLBKind, TLBKind], ...] = (
+        (TLBKind.SA, TLBKind.SA),
+        (TLBKind.RF, TLBKind.SA),
+        (TLBKind.RF, TLBKind.RF),
+    ),
+) -> List[Tuple[TLBKind, TLBKind, int, Vulnerability]]:
+    """The study's work-list: one (L1, L2, row) cell per entry."""
+    rows = table2_vulnerabilities()
+    return [
+        (l1_kind, l2_kind, index, vulnerability)
+        for l1_kind, l2_kind in combinations
+        for index, vulnerability in enumerate(rows)
+    ]
+
+
+def evaluate_hierarchy_cell(
+    l1_kind: TLBKind,
+    l2_kind: TLBKind,
+    vulnerability: Vulnerability,
+    trials: int = 40,
+    seed: int = 7,
+) -> ChannelEstimate:
+    """Run one Table 2 row against an L1/L2 combination (a pure cell).
+
+    The RNG is derived from the cell's own label (as in
+    :meth:`repro.security.evaluate.SecurityEvaluator.evaluate_vulnerability`)
+    so cells are order-independent and shard cleanly.
+    """
+    layout = BenchmarkLayout(nsets=L2_CONFIG.sets, nways=L2_CONFIG.ways)
+    label = (
+        f"{seed}/{l1_kind.value}/{l2_kind.value}/{vulnerability.pretty()}"
+    )
+    rng = random.Random(zlib.crc32(label.encode()))
+    programs = {
+        mapped: assemble(generate(vulnerability, layout, mapped=mapped))
+        for mapped in (True, False)
+    }
+    misses = {True: 0, False: 0}
+    for mapped in (True, False):
+        for _ in range(trials):
+            tlb = _make_hierarchy(l1_kind, l2_kind, rng)
+            cpu = CPU(tlb=tlb, translator=PageTableWalker(auto_map=True))
+            cpu.load(programs[mapped])
+            outcome = cpu.run()
+            if outcome.status is ExecutionStatus.PASSED:
+                misses[mapped] += 1
+    return ChannelEstimate(
+        misses_mapped=misses[True],
+        misses_unmapped=misses[False],
+        trials_per_behaviour=trials,
+    )
+
+
 def evaluate_hierarchy(
     l1_kind: TLBKind,
     l2_kind: TLBKind,
@@ -91,28 +146,12 @@ def evaluate_hierarchy(
     misses the walk counter exposes, so its sets are what the attacker
     primes.  (An attack against the L1's sets alone stops at the L2.)
     """
-    layout = BenchmarkLayout(nsets=L2_CONFIG.sets, nways=L2_CONFIG.ways)
-    rng = random.Random(seed)
-    estimates: Dict[Vulnerability, ChannelEstimate] = {}
-    for vulnerability in table2_vulnerabilities():
-        programs = {
-            mapped: assemble(generate(vulnerability, layout, mapped=mapped))
-            for mapped in (True, False)
-        }
-        misses = {True: 0, False: 0}
-        for mapped in (True, False):
-            for _ in range(trials):
-                tlb = _make_hierarchy(l1_kind, l2_kind, rng)
-                cpu = CPU(tlb=tlb, translator=PageTableWalker(auto_map=True))
-                cpu.load(programs[mapped])
-                outcome = cpu.run()
-                if outcome.status is ExecutionStatus.PASSED:
-                    misses[mapped] += 1
-        estimates[vulnerability] = ChannelEstimate(
-            misses_mapped=misses[True],
-            misses_unmapped=misses[False],
-            trials_per_behaviour=trials,
+    estimates: Dict[Vulnerability, ChannelEstimate] = {
+        vulnerability: evaluate_hierarchy_cell(
+            l1_kind, l2_kind, vulnerability, trials, seed
         )
+        for vulnerability in table2_vulnerabilities()
+    }
     return HierarchyResult(
         name=f"{l1_kind.value} L1 + {l2_kind.value} L2", estimates=estimates
     )

@@ -16,8 +16,10 @@ is also checked by re-running the Appendix B rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
+from repro.model.patterns import Vulnerability
+from repro.model.table2 import table2_vulnerabilities
 from repro.mmu import PageTableWalker
 from repro.security.benchgen import BenchmarkLayout
 from repro.security.evaluate import (
@@ -61,6 +63,50 @@ class LargePageResult:
         return sum(1 for result in self.extended_results if result.defended)
 
 
+def large_page_cells(
+    kind: TLBKind = TLBKind.SA,
+) -> List[Tuple[str, int, Vulnerability]]:
+    """The work-list: ("base"|"extended", row index, row) per cell."""
+    from repro.model.extended import invalidation_only_vulnerabilities
+
+    cells = [
+        ("base", index, vulnerability)
+        for index, vulnerability in enumerate(table2_vulnerabilities())
+    ]
+    cells.extend(
+        ("extended", index, vulnerability)
+        for index, vulnerability in enumerate(
+            invalidation_only_vulnerabilities()
+        )
+    )
+    return cells
+
+
+def run_large_page_cell(
+    model: str,
+    vulnerability_index: int,
+    kind: TLBKind = TLBKind.SA,
+    trials: int = 40,
+) -> VulnerabilityResult:
+    """Evaluate one row with the secure region on a megapage (a pure cell)."""
+    from repro.model.extended import invalidation_only_vulnerabilities
+
+    if model == "base":
+        vulnerability = table2_vulnerabilities()[vulnerability_index]
+    elif model == "extended":
+        vulnerability = invalidation_only_vulnerabilities()[
+            vulnerability_index
+        ]
+    else:
+        raise ValueError(f"unknown model {model!r}")
+    layout = BenchmarkLayout()
+    config = EvaluationConfig(
+        trials=trials, walker_factory=_superpage_walker_factory(layout)
+    )
+    evaluator = SecurityEvaluator(config)
+    return evaluator.evaluate_vulnerability(vulnerability, kind)
+
+
 def evaluate_large_pages(
     kind: TLBKind = TLBKind.SA, trials: int = 40
 ) -> LargePageResult:
@@ -70,15 +116,12 @@ def evaluate_large_pages(
     pages live in different megapage frames and auto-map as 4 KiB pages --
     so only the victim's in-region behaviour changes.
     """
-    layout = BenchmarkLayout()
-    config = EvaluationConfig(
-        trials=trials, walker_factory=_superpage_walker_factory(layout)
-    )
-    evaluator = SecurityEvaluator(config)
-    return LargePageResult(
-        base_results=evaluator.evaluate_kind(kind),
-        extended_results=evaluator.evaluate_extended(kind),
-    )
+    base: List[VulnerabilityResult] = []
+    extended: List[VulnerabilityResult] = []
+    for model, index, _vulnerability in large_page_cells(kind):
+        result = run_large_page_cell(model, index, kind, trials)
+        (base if model == "base" else extended).append(result)
+    return LargePageResult(base_results=base, extended_results=extended)
 
 
 def format_large_page_comparison(

@@ -17,9 +17,11 @@ under each mitigation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
+from repro.model.patterns import Vulnerability
+from repro.model.table2 import table2_vulnerabilities
 from repro.security.evaluate import (
     EvaluationConfig,
     SecurityEvaluator,
@@ -46,26 +48,97 @@ class MitigationResult:
         return self.defended == self.paper_claim
 
 
+@dataclass(frozen=True)
+class MitigationSpec:
+    """A ladder rung: how to configure the harness for one mitigation."""
+
+    key: str
+    name: str
+    paper_claim: int
+    kind: TLBKind
+    flush_on_switch: bool = False
+    #: When set, replace the default TLB organization by a fully
+    #: associative one of this many entries.
+    fa_entries: Optional[int] = None
+
+    def evaluation_config(self, trials: int) -> EvaluationConfig:
+        if self.fa_entries is not None:
+            return EvaluationConfig(
+                tlb=fully_associative(self.fa_entries), trials=trials
+            )
+        return EvaluationConfig(
+            trials=trials, flush_on_switch=self.flush_on_switch
+        )
+
+
+#: Section 2.3's ladder, plus the paper's own designs for reference,
+#: in presentation order.
+MITIGATION_SPECS: Tuple[MitigationSpec, ...] = (
+    MitigationSpec(
+        "asid", "ASID-tagged SA TLB (Linux baseline)", 10, TLBKind.SA
+    ),
+    MitigationSpec(
+        "flush", "SA TLB + flush on switch (Sanctum / SGX)", 14, TLBKind.SA,
+        flush_on_switch=True,
+    ),
+    MitigationSpec(
+        "fa", "fully associative 32-entry TLB", 18, TLBKind.SA, fa_entries=32
+    ),
+    MitigationSpec(
+        "sp", "Static-Partition TLB (this paper)", 14, TLBKind.SP
+    ),
+    MitigationSpec("rf", "Random-Fill TLB (this paper)", 24, TLBKind.RF),
+)
+
+
+def spec_by_key(key: str) -> MitigationSpec:
+    for spec in MITIGATION_SPECS:
+        if spec.key == key:
+            return spec
+    raise KeyError(f"unknown mitigation {key!r}")
+
+
+def mitigation_cells() -> List[Tuple[MitigationSpec, int, Vulnerability]]:
+    """The ladder's work-list: one (rung, row) cell per entry.
+
+    Cells are independent (the harness seeds each from its own label), so
+    the ladder shards at this granularity under :mod:`repro.runner`.
+    """
+    rows = table2_vulnerabilities()
+    return [
+        (spec, index, vulnerability)
+        for spec in MITIGATION_SPECS
+        for index, vulnerability in enumerate(rows)
+    ]
+
+
+def run_mitigation_cell(
+    key: str, vulnerability_index: int, trials: int = 60
+) -> VulnerabilityResult:
+    """Evaluate one Table 2 row under one mitigation (a pure cell)."""
+    spec = spec_by_key(key)
+    evaluator = SecurityEvaluator(spec.evaluation_config(trials))
+    vulnerability = table2_vulnerabilities()[vulnerability_index]
+    return evaluator.evaluate_vulnerability(vulnerability, spec.kind)
+
+
+def _evaluate_spec(spec: MitigationSpec, trials: int) -> MitigationResult:
+    evaluator = SecurityEvaluator(spec.evaluation_config(trials))
+    return MitigationResult(
+        name=spec.name,
+        results=evaluator.evaluate_kind(spec.kind),
+        paper_claim=spec.paper_claim,
+    )
+
+
 def evaluate_asid_baseline(trials: int = 60) -> MitigationResult:
     """Standard SA TLB with ASIDs: the paper's 10-of-24 baseline."""
-    evaluator = SecurityEvaluator(EvaluationConfig(trials=trials))
-    return MitigationResult(
-        name="ASID-tagged SA TLB (Linux baseline)",
-        results=evaluator.evaluate_kind(TLBKind.SA),
-        paper_claim=10,
-    )
+    return _evaluate_spec(spec_by_key("asid"), trials)
 
 
 def evaluate_flush_on_switch(trials: int = 60) -> MitigationResult:
     """Sanctum/SGX-style full flush on every process switch: 14 of 24."""
-    evaluator = SecurityEvaluator(
-        EvaluationConfig(trials=trials, flush_on_switch=True)
-    )
-    return MitigationResult(
-        name="SA TLB + flush on switch (Sanctum / SGX)",
-        results=evaluator.evaluate_kind(TLBKind.SA),
-        paper_claim=14,
-    )
+    return _evaluate_spec(spec_by_key("flush"), trials)
 
 
 def evaluate_fully_associative(
@@ -78,35 +151,16 @@ def evaluate_fully_associative(
     ``u`` "maps to the tested block" -- only the 6 hit-based Internal
     Collision rows (exact-address collisions) survive.
     """
-    evaluator = SecurityEvaluator(
-        EvaluationConfig(tlb=fully_associative(entries), trials=trials)
+    spec = MitigationSpec(
+        "fa", f"fully associative {entries}-entry TLB", 18, TLBKind.SA,
+        fa_entries=entries,
     )
-    return MitigationResult(
-        name=f"fully associative {entries}-entry TLB",
-        results=evaluator.evaluate_kind(TLBKind.SA),
-        paper_claim=18,
-    )
+    return _evaluate_spec(spec, trials)
 
 
 def evaluate_all_mitigations(trials: int = 60) -> List[MitigationResult]:
     """Section 2.3's ladder, plus the paper's own designs for reference."""
-    evaluator = SecurityEvaluator(EvaluationConfig(trials=trials))
-    ladder = [
-        evaluate_asid_baseline(trials),
-        evaluate_flush_on_switch(trials),
-        evaluate_fully_associative(trials=trials),
-        MitigationResult(
-            name="Static-Partition TLB (this paper)",
-            results=evaluator.evaluate_kind(TLBKind.SP),
-            paper_claim=14,
-        ),
-        MitigationResult(
-            name="Random-Fill TLB (this paper)",
-            results=evaluator.evaluate_kind(TLBKind.RF),
-            paper_claim=24,
-        ),
-    ]
-    return ladder
+    return [_evaluate_spec(spec, trials) for spec in MITIGATION_SPECS]
 
 
 def format_mitigation_ladder(results: List[MitigationResult]) -> str:

@@ -46,6 +46,34 @@ class PartitionPoint:
     attacker_mpki: float
 
 
+def sp_partition_point(
+    victim_ways: int,
+    config: TLBConfig = TLBConfig(entries=32, ways=4),
+    spec: SpecProfile = OMNETPP,
+    instructions: int = 60_000,
+    rsa_runs: int = 10,
+    seed: int = 0,
+) -> PartitionPoint:
+    """One SP split measurement (a pure, shardable sweep point)."""
+    key = generate_key(bits=64, seed=3)
+    tlb = StaticPartitionTLB(config, victim_asid=1, victim_ways=victim_ways)
+    results = simulate(
+        tlb,
+        [
+            ScheduledProcess(RSAWorkload(key=key, runs=rsa_runs), asid=1),
+            ScheduledProcess(spec, asid=2, instructions=instructions),
+        ],
+        walker=PageTableWalker(auto_map=True),
+        seed=seed,
+    )
+    return PartitionPoint(
+        victim_ways=victim_ways,
+        attacker_ways=config.ways - victim_ways,
+        victim_mpki=results["RSA"].mpki,
+        attacker_mpki=results[spec.name].mpki,
+    )
+
+
 def sweep_sp_partition(
     config: TLBConfig = TLBConfig(entries=32, ways=4),
     spec: SpecProfile = OMNETPP,
@@ -55,28 +83,12 @@ def sweep_sp_partition(
 ) -> List[PartitionPoint]:
     """MPKI of the victim (RSA) and the attacker side (a SPEC workload)
     as the victim's share of the ways grows."""
-    key = generate_key(bits=64, seed=3)
-    points = []
-    for victim_ways in range(1, config.ways):
-        tlb = StaticPartitionTLB(config, victim_asid=1, victim_ways=victim_ways)
-        results = simulate(
-            tlb,
-            [
-                ScheduledProcess(RSAWorkload(key=key, runs=rsa_runs), asid=1),
-                ScheduledProcess(spec, asid=2, instructions=instructions),
-            ],
-            walker=PageTableWalker(auto_map=True),
-            seed=seed,
+    return [
+        sp_partition_point(
+            victim_ways, config, spec, instructions, rsa_runs, seed
         )
-        points.append(
-            PartitionPoint(
-                victim_ways=victim_ways,
-                attacker_ways=config.ways - victim_ways,
-                victim_mpki=results["RSA"].mpki,
-                attacker_mpki=results[spec.name].mpki,
-            )
-        )
-    return points
+        for victim_ways in range(1, config.ways)
+    ]
 
 
 @dataclass(frozen=True)
@@ -86,6 +98,47 @@ class RegionPoint:
     region_pages: int
     victim_mpki: float
     prime_probe_capacity: float
+
+
+def rf_region_point(
+    pages: int,
+    config: TLBConfig = TLBConfig(entries=32, ways=8),
+    rsa_runs: int = 10,
+    trials: int = 120,
+    seed: int = 0,
+) -> RegionPoint:
+    """One RF secure-region size measurement (a pure, shardable point)."""
+    from repro.model.patterns import Observation, ThreeStepPattern, Vulnerability
+    from repro.model.states import A_D, V_U
+
+    key = generate_key(bits=64, seed=3)
+    prime_probe = Vulnerability(
+        ThreeStepPattern((A_D, V_U, A_D)), Observation.SLOW
+    )
+    # Performance: the victim's own trace with the region covering its
+    # buffers (clipped to the region size).
+    workload = RSAWorkload(key=key, runs=rsa_runs)
+    tlb = RandomFillTLB(
+        config,
+        victim_asid=1,
+        sbase=workload.buffers.sbase,
+        ssize=min(pages, workload.buffers.ssize),
+        rng=random.Random(seed),
+    )
+    results = simulate(
+        tlb,
+        [ScheduledProcess(workload, asid=1)],
+        walker=PageTableWalker(auto_map=True),
+        seed=seed,
+    )
+    # Security: the Prime + Probe estimate with this region size.
+    evaluator = SecurityEvaluator(EvaluationConfig(trials=trials))
+    result = _evaluate_with_region(evaluator, prime_probe, pages)
+    return RegionPoint(
+        region_pages=pages,
+        victim_mpki=results["RSA"].mpki,
+        prime_probe_capacity=result.capacity,
+    )
 
 
 def sweep_rf_region(
@@ -102,42 +155,10 @@ def sweep_rf_region(
     with probability ~1/min(region, sets)), while costing the victim more
     no-fill misses.
     """
-    from repro.model.patterns import Observation, ThreeStepPattern, Vulnerability
-    from repro.model.states import A_D, V_U
-
-    key = generate_key(bits=64, seed=3)
-    prime_probe = Vulnerability(
-        ThreeStepPattern((A_D, V_U, A_D)), Observation.SLOW
-    )
-    points = []
-    for pages in region_sizes:
-        # Performance: the victim's own trace with the region covering its
-        # buffers (clipped to the region size).
-        workload = RSAWorkload(key=key, runs=rsa_runs)
-        tlb = RandomFillTLB(
-            config,
-            victim_asid=1,
-            sbase=workload.buffers.sbase,
-            ssize=min(pages, workload.buffers.ssize),
-            rng=random.Random(seed),
-        )
-        results = simulate(
-            tlb,
-            [ScheduledProcess(workload, asid=1)],
-            walker=PageTableWalker(auto_map=True),
-            seed=seed,
-        )
-        # Security: the Prime + Probe estimate with this region size.
-        evaluator = SecurityEvaluator(EvaluationConfig(trials=trials))
-        result = _evaluate_with_region(evaluator, prime_probe, pages)
-        points.append(
-            RegionPoint(
-                region_pages=pages,
-                victim_mpki=results["RSA"].mpki,
-                prime_probe_capacity=result.capacity,
-            )
-        )
-    return points
+    return [
+        rf_region_point(pages, config, rsa_runs, trials, seed)
+        for pages in region_sizes
+    ]
 
 
 def _evaluate_with_region(
@@ -173,6 +194,20 @@ class PolicyPoint:
     recovered_exactly: bool
 
 
+def replacement_policy_point(
+    policy: ReplacementKind, seed: int = 0
+) -> PolicyPoint:
+    """TLBleed single-trace accuracy under one policy (a pure point)."""
+    key = generate_key(bits=64, seed=11)
+    config = TLBConfig(entries=32, ways=8, replacement=policy)
+    result = tlbleed_attack(TLBKind.SA, key=key, config=config, seed=seed)
+    return PolicyPoint(
+        policy=policy,
+        accuracy=result.accuracy,
+        recovered_exactly=result.recovered_exactly,
+    )
+
+
 def sweep_replacement_policy(
     policies=(
         ReplacementKind.LRU,
@@ -183,19 +218,7 @@ def sweep_replacement_policy(
     seed: int = 0,
 ) -> List[PolicyPoint]:
     """TLBleed single-trace accuracy against the SA TLB per policy."""
-    key = generate_key(bits=64, seed=11)
-    points = []
-    for policy in policies:
-        config = TLBConfig(entries=32, ways=8, replacement=policy)
-        result = tlbleed_attack(TLBKind.SA, key=key, config=config, seed=seed)
-        points.append(
-            PolicyPoint(
-                policy=policy,
-                accuracy=result.accuracy,
-                recovered_exactly=result.recovered_exactly,
-            )
-        )
-    return points
+    return [replacement_policy_point(policy, seed) for policy in policies]
 
 
 @dataclass(frozen=True)
@@ -205,6 +228,31 @@ class WalkLatencyPoint:
     cycles_per_level: int
     ipc: float
     mpki: float
+
+
+def walk_latency_point(
+    cost: int,
+    spec: SpecProfile = OMNETPP,
+    instructions: int = 60_000,
+    seed: int = 0,
+) -> WalkLatencyPoint:
+    """One walk-cost sensitivity measurement (a pure, shardable point)."""
+    from repro.mmu import WalkerConfig
+    from repro.tlb import SetAssociativeTLB
+
+    tlb = SetAssociativeTLB(TLBConfig(entries=32, ways=4))
+    results = simulate(
+        tlb,
+        [ScheduledProcess(spec, asid=1, instructions=instructions)],
+        walker=PageTableWalker(
+            WalkerConfig(cycles_per_level=cost), auto_map=True
+        ),
+        seed=seed,
+    )
+    total = results["total"]
+    return WalkLatencyPoint(
+        cycles_per_level=cost, ipc=total.ipc, mpki=total.mpki
+    )
 
 
 def sweep_walk_latency(
@@ -219,25 +267,9 @@ def sweep_walk_latency(
     walks get more expensive.  This bounds how much of the reproduction's
     IPC story depends on the one free constant of the timing model.
     """
-    from repro.mmu import WalkerConfig
-    from repro.tlb import SetAssociativeTLB
-
-    points = []
-    for cost in costs:
-        tlb = SetAssociativeTLB(TLBConfig(entries=32, ways=4))
-        results = simulate(
-            tlb,
-            [ScheduledProcess(spec, asid=1, instructions=instructions)],
-            walker=PageTableWalker(WalkerConfig(cycles_per_level=cost), auto_map=True),
-            seed=seed,
-        )
-        total = results["total"]
-        points.append(
-            WalkLatencyPoint(
-                cycles_per_level=cost, ipc=total.ipc, mpki=total.mpki
-            )
-        )
-    return points
+    return [
+        walk_latency_point(cost, spec, instructions, seed) for cost in costs
+    ]
 
 
 def format_partition_sweep(points: List[PartitionPoint]) -> str:

@@ -14,6 +14,7 @@
 ``sweeps``     the SP-partition / RF-region / replacement-policy sweeps
 ``attack``     the TLBleed-style RSA key recovery demo
 ``covert``     the covert-channel demo
+``run-all``    every experiment, sharded across workers with caching
 =============  =============================================================
 
 Full-fidelity runs (the paper's 500-trial protocol, the complete Figure 7
@@ -44,8 +45,14 @@ def _cmd_table2(args: argparse.Namespace) -> int:
         print(f"candidates: {len(candidate_patterns())}")
     derived = derive_vulnerabilities()
     print(format_table(derived))
-    match = set(derived) == set(table2_vulnerabilities())
+    derived_set = set(derived)
+    expected_set = set(table2_vulnerabilities())
+    match = derived_set == expected_set
     print(f"\nexact match with the paper's Table 2: {match}")
+    for pretty in sorted(v.pretty() for v in expected_set - derived_set):
+        print(f"  missing (in paper, not derived):   {pretty}")
+    for pretty in sorted(v.pretty() for v in derived_set - expected_set):
+        print(f"  unexpected (derived, not in paper): {pretty}")
     return 0 if match else 1
 
 
@@ -218,6 +225,33 @@ def _cmd_covert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    from repro.runner import run_all
+
+    report = run_all(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        filters=args.filter,
+        results_dir=args.results_dir,
+        cache_dir=args.cache_dir,
+        log_path=args.log,
+        progress=not args.quiet,
+        max_retries=args.max_retries,
+    )
+    print(
+        f"{report.completed}/{report.units_total} cells ok"
+        f" · {report.cells_per_second:.1f} cells/s"
+        f" · cache hit-rate {report.cache_hit_rate:.0%}"
+        f" · retries {report.retries}"
+        f" · worker crashes {report.worker_crashes}"
+    )
+    if report.artifacts:
+        print(f"artifacts: {', '.join(report.artifacts)}")
+    if report.failed:
+        print(f"FAILED: {', '.join(report.failed)}")
+    return 0 if report.ok else 1
+
+
 def _add_design_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--designs",
@@ -296,13 +330,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_design_argument(covert)
     covert.set_defaults(func=_cmd_covert)
 
+    run_all = subparsers.add_parser(
+        "run-all",
+        help="run every experiment via the parallel runner",
+        description=(
+            "Shard every registered experiment into cells, run them across"
+            " worker processes with result caching, and merge the"
+            " full-fidelity results/ artifacts (byte-identical to the"
+            " serial scripts/run_full_evaluation.py)."
+        ),
+    )
+    run_all.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="worker processes (default: CPU count)",
+    )
+    run_all.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not update the result cache",
+    )
+    run_all.add_argument(
+        "--filter", action="append", default=None, metavar="GLOB",
+        help=(
+            "only run units matching this glob against the experiment name"
+            " or unit identity (repeatable), e.g. 'table2*' or 'table4/SA/*'"
+        ),
+    )
+    run_all.add_argument(
+        "--results-dir", default="results",
+        help="artifact output directory (default: results)",
+    )
+    run_all.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: .repro-cache)",
+    )
+    run_all.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="JSONL run log (default: <results-dir>/run_log.jsonl)",
+    )
+    run_all.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per cell before marking it failed (default: 2)",
+    )
+    run_all.add_argument(
+        "--quiet", action="store_true", help="suppress progress output"
+    )
+    run_all.set_defaults(func=_cmd_run_all)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,13 +26,16 @@ from .configs import (
 )
 from .harness import (
     Figure7Cell,
+    Figure7Unit,
     PerfSettings,
     Scenario,
     all_scenarios,
     figure7,
+    figure7_units,
     format_figure7,
     headline_ratios,
     run_cell,
+    scenario_by_label,
 )
 from .export import export_figure7_csv, export_table4_csv
 from .plot import bar_chart, figure7_chart
@@ -44,6 +47,7 @@ __all__ = [
     "BLOCK_RAMS",
     "DSPS",
     "Figure7Cell",
+    "Figure7Unit",
     "PAPER_TABLE5",
     "PerfResult",
     "PerfSettings",
@@ -60,7 +64,9 @@ __all__ = [
     "export_table4_csv",
     "figure7",
     "figure7_chart",
+    "figure7_units",
     "format_figure7",
+    "scenario_by_label",
     "headline_ratios",
     "labels_for",
     "run_cell",

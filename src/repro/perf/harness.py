@@ -73,6 +73,21 @@ def all_scenarios() -> List[Scenario]:
     return scenarios
 
 
+def scenario_by_label(label: str) -> Scenario:
+    """Parse a :attr:`Scenario.label` back into a :class:`Scenario`.
+
+    The label is the scenario's serialized form in sharded runs
+    (:mod:`repro.runner` ships plain strings to its workers).
+    """
+    rsa, _, spec_name = label.partition("+")
+    if rsa not in ("RSA", "SecRSA"):
+        raise ValueError(f"unknown scenario label {label!r}")
+    return Scenario(
+        secure=(rsa == "SecRSA"),
+        spec=by_name(spec_name) if spec_name else None,
+    )
+
+
 @dataclass(frozen=True)
 class Figure7Cell:
     """One measurement: a design, an organization, a scenario, a run count."""
@@ -143,6 +158,52 @@ def run_cell(
     )
 
 
+@dataclass(frozen=True)
+class Figure7Unit:
+    """One cell's coordinates: the shardable unit of the Figure 7 grid.
+
+    Cells are mutually independent -- :func:`run_cell` builds its own TLB,
+    key and schedule from the coordinates and settings -- so the grid can
+    be executed in any order (or in parallel by :mod:`repro.runner`) and
+    reassembled in enumeration order.
+    """
+
+    kind: TLBKind
+    config_label: str
+    scenario: Scenario
+    rsa_runs: int
+
+    def run(
+        self,
+        settings: PerfSettings = PerfSettings(),
+        key: Optional[RSAKey] = None,
+    ) -> Figure7Cell:
+        return run_cell(
+            self.kind, self.config_label, self.scenario, self.rsa_runs,
+            settings, key,
+        )
+
+
+def figure7_units(
+    kinds: Iterable[TLBKind] = (TLBKind.SA, TLBKind.SP, TLBKind.RF),
+    scenarios: Optional[Sequence[Scenario]] = None,
+    rsa_runs: Sequence[int] = (50,),
+    config_labels: Optional[Sequence[str]] = None,
+) -> List[Figure7Unit]:
+    """Enumerate the grid's cells in the canonical (plot) order."""
+    scenarios = list(scenarios) if scenarios is not None else all_scenarios()
+    units = []
+    for kind in kinds:
+        labels = config_labels or labels_for(kind)
+        for label in labels:
+            if label not in labels_for(kind):
+                continue
+            for scenario in scenarios:
+                for runs in rsa_runs:
+                    units.append(Figure7Unit(kind, label, scenario, runs))
+    return units
+
+
 def figure7(
     kinds: Iterable[TLBKind] = (TLBKind.SA, TLBKind.SP, TLBKind.RF),
     scenarios: Optional[Sequence[Scenario]] = None,
@@ -152,20 +213,11 @@ def figure7(
 ) -> List[Figure7Cell]:
     """Run the evaluation grid (the full paper grid with default args to
     ``scenarios`` and ``rsa_runs=(50, 100, 150)``)."""
-    scenarios = list(scenarios) if scenarios is not None else all_scenarios()
     key = generate_key(bits=settings.key_bits, seed=settings.key_seed)
-    cells = []
-    for kind in kinds:
-        labels = config_labels or labels_for(kind)
-        for label in labels:
-            if label not in labels_for(kind):
-                continue
-            for scenario in scenarios:
-                for runs in rsa_runs:
-                    cells.append(
-                        run_cell(kind, label, scenario, runs, settings, key)
-                    )
-    return cells
+    return [
+        unit.run(settings, key)
+        for unit in figure7_units(kinds, scenarios, rsa_runs, config_labels)
+    ]
 
 
 def format_figure7(cells: Sequence[Figure7Cell]) -> str:

@@ -1,0 +1,75 @@
+"""Parallel experiment orchestration with caching and telemetry.
+
+The runner turns the repository's full evaluation -- hundreds of
+independent (design, vulnerability/configuration) cells -- into a
+shardable job graph:
+
+* :mod:`repro.runner.registry` -- named experiments enumerating their
+  cells as picklable :class:`Unit` coordinates;
+* :mod:`repro.runner.scheduler` -- the multiprocessing executor with
+  retries, crash recovery, and deterministic per-cell seeding;
+* :mod:`repro.runner.cache` -- a content-addressed result cache keyed on
+  (experiment, params, seed, code version);
+* :mod:`repro.runner.progress` -- live console progress plus a JSONL run
+  log;
+* :mod:`repro.runner.results` -- byte-exact reassembly of the serial
+  path's ``results/`` artifacts.
+
+Entry points: :func:`run_all` (the API behind
+``python -m repro run-all``) and the registry for defining new
+experiments.
+"""
+
+from .api import default_jobs, run_all
+from .cache import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+    code_fingerprint,
+    unit_cache_key,
+)
+from .experiments import DEFAULT_OPTIONS
+from .progress import ProgressPrinter, RunLog, RunReport
+from .registry import (
+    REGISTRY,
+    Experiment,
+    Unit,
+    all_experiments,
+    ensure_default_experiments,
+    expand_units,
+    get_experiment,
+    matches_filter,
+    register,
+    stable_seed,
+)
+from .results import ARTIFACT_SOURCES, write_artifacts
+from .scheduler import Scheduler, TaskOutcome, run_units_serially
+
+__all__ = [
+    "ARTIFACT_SOURCES",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "DEFAULT_OPTIONS",
+    "Experiment",
+    "ProgressPrinter",
+    "REGISTRY",
+    "ResultCache",
+    "RunLog",
+    "RunReport",
+    "Scheduler",
+    "TaskOutcome",
+    "Unit",
+    "all_experiments",
+    "code_fingerprint",
+    "default_jobs",
+    "ensure_default_experiments",
+    "expand_units",
+    "get_experiment",
+    "matches_filter",
+    "register",
+    "run_all",
+    "run_units_serially",
+    "stable_seed",
+    "unit_cache_key",
+    "write_artifacts",
+]

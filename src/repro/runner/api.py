@@ -1,0 +1,182 @@
+"""``run_all``: the one-call orchestration entry point.
+
+Expands every registered experiment into cells, resolves what it can from
+the result cache, shards the rest across worker processes, stores fresh
+results back, reassembles the serial path's artifacts, and returns a
+:class:`~repro.runner.progress.RunReport`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .experiments import DEFAULT_OPTIONS
+from .progress import ProgressPrinter, RunLog, RunReport
+from .registry import all_experiments, ensure_default_experiments, expand_units
+from .scheduler import Scheduler, TaskOutcome, run_units_serially
+from .results import write_artifacts
+
+
+def default_jobs() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def run_all(
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
+    filters: Optional[Iterable[str]] = None,
+    results_dir: Union[Path, str] = "results",
+    cache_dir: Union[Path, str, None] = None,
+    log_path: Union[Path, str, None] = None,
+    options: Optional[Mapping[str, Any]] = None,
+    progress: bool = True,
+    max_retries: int = 2,
+    backoff: float = 0.05,
+) -> RunReport:
+    """Run every (filtered) experiment cell and merge the artifacts.
+
+    ``log_path`` defaults to ``<results_dir>/run_log.jsonl``; pass an
+    explicit path to redirect it.  ``options`` overrides entries of
+    :data:`~repro.runner.experiments.DEFAULT_OPTIONS` (e.g. smaller trial
+    counts for smoke tests).
+    """
+    started = time.monotonic()
+    ensure_default_experiments()
+    jobs = jobs if jobs is not None else default_jobs()
+    jobs = max(1, jobs)
+    merged_options: Dict[str, Any] = dict(DEFAULT_OPTIONS)
+    if options:
+        merged_options.update(options)
+    filters = list(filters) if filters else None
+
+    units = expand_units(merged_options, filters)
+    report = RunReport(units_total=len(units), jobs=jobs)
+
+    log = RunLog(
+        log_path if log_path is not None
+        else Path(results_dir) / "run_log.jsonl"
+    )
+    printer = ProgressPrinter(total=len(units), enabled=progress)
+
+    cache = (
+        ResultCache(cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR)
+        if use_cache
+        else None
+    )
+    log.emit(
+        "run_start",
+        jobs=jobs,
+        units=len(units),
+        filters=filters,
+        cache=bool(cache),
+        code_version=cache.code_version if cache else None,
+    )
+
+    # Resolve cache hits in-process; only misses are scheduled.
+    outcomes: Dict[int, TaskOutcome] = {}
+    to_run: List[Any] = []
+    for task_id, unit in enumerate(units):
+        if cache is not None:
+            hit, value = cache.get(unit)
+            if hit:
+                outcomes[task_id] = TaskOutcome(
+                    unit=unit, value=value, cached=True
+                )
+                log.emit(
+                    "unit_done",
+                    experiment=unit.experiment,
+                    key=unit.key,
+                    status="ok",
+                    cached=True,
+                    elapsed=0.0,
+                )
+                continue
+        to_run.append((task_id, unit))
+
+    printer.cache_hits = len(outcomes)
+    printer.base_done = len(outcomes)
+    if outcomes:
+        printer.note(
+            f"{len(outcomes)}/{len(units)} cells from cache,"
+            f" {len(to_run)} to run"
+        )
+
+    if to_run and jobs > 1:
+        scheduler = Scheduler(
+            jobs=jobs,
+            max_retries=max_retries,
+            backoff=backoff,
+            log=log,
+            progress=printer,
+        )
+        fresh = scheduler.run(to_run)
+        report.retries = scheduler.retries
+        report.worker_crashes = scheduler.worker_crashes
+        report.worker_busy = dict(scheduler.worker_busy)
+    elif to_run:
+        fresh = run_units_serially(to_run, log)
+        report.worker_busy = {
+            0: sum(outcome.elapsed for outcome in fresh.values())
+        }
+    else:
+        fresh = {}
+
+    if cache is not None:
+        for outcome in fresh.values():
+            if not outcome.failed:
+                cache.put(outcome.unit, outcome.value, outcome.elapsed)
+    outcomes.update(fresh)
+
+    report.cache_hits = cache.stats.hits if cache else 0
+    report.cache_misses = cache.stats.misses if cache else 0
+    report.completed = sum(
+        1 for outcome in outcomes.values() if not outcome.failed
+    )
+    report.failed = [
+        outcomes[task_id].unit.ident
+        for task_id in sorted(outcomes)
+        if outcomes[task_id].failed
+    ]
+
+    # Group completed values per experiment, in unit enumeration order.
+    grouped: Dict[str, List[Any]] = {}
+    incomplete: set = set()
+    for task_id, unit in enumerate(units):
+        outcome = outcomes.get(task_id)
+        if outcome is None or outcome.failed:
+            incomplete.add(unit.experiment)
+            continue
+        grouped.setdefault(unit.experiment, []).append(outcome.value)
+
+    assembled: Dict[str, Any] = {}
+    for experiment in all_experiments():
+        name = experiment.name
+        if name in incomplete or name not in grouped:
+            continue
+        # A filtered run may hold only a subset of an experiment's cells;
+        # partial sets cannot be reassembled into a faithful artifact.
+        if len(grouped[name]) != len(experiment.units(merged_options)):
+            continue
+        assembled[name] = experiment.assemble(grouped[name], merged_options)
+
+    report.artifacts = write_artifacts(
+        assembled, results_dir, merged_options, log
+    )
+    report.elapsed = time.monotonic() - started
+    log.emit("run_end", **report.summary_fields())
+    log.close()
+    printer.update(
+        done=len(outcomes) - printer.base_done,
+        retries=report.retries,
+        workers=0,
+        force=True,
+    )
+    if report.artifacts:
+        printer.note(f"wrote {len(report.artifacts)} artifacts")
+    if report.failed:
+        printer.note(f"FAILED cells: {', '.join(report.failed)}")
+    return report

@@ -1,0 +1,629 @@
+"""The standard experiment set, registered at cell granularity.
+
+Each experiment mirrors one section of ``scripts/run_full_evaluation.py``:
+
+========== =====================================================
+table2     the Table 2 derivation + exact-match check
+table4     24 vulnerabilities x 3 designs (500 trials/cell)
+table7     48 Appendix B rows x 3 designs (200 trials/cell)
+fig7       the Figure 7 grid (19 configs x 10 scenarios) and the
+           50/100/150 decryption series
+table5     the area model (single cell)
+mitigations 5 mitigation specs x 24 vulnerabilities
+hierarchy  3 L1/L2 combinations x 24 vulnerabilities
+largepages base + extended walker x 24 vulnerabilities
+sweeps     partition / region / policy / walk-latency points
+attacks    every end-to-end attack, one cell per (attack, design)
+========== =====================================================
+
+Cells carry their complete inputs in ``params`` (picklable plain types
+only -- enum *names*, row indices, trial counts), so a worker process can
+run any cell from the registry alone and the cache can key on the params
+verbatim.  Defaults in :data:`DEFAULT_OPTIONS` reproduce the serial
+script's full-fidelity artifacts byte for byte.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+from .registry import Experiment, Unit, register
+
+#: Full-fidelity knobs, matching scripts/run_full_evaluation.py exactly.
+DEFAULT_OPTIONS: Dict[str, Any] = {
+    "table4_trials": 500,
+    "table7_trials": 200,
+    "fig7_spec_instructions": 150_000,
+    "fig7_key_bits": 128,
+    "fig7_rsa_runs": [50],
+    "series_rsa_runs": [50, 100, 150],
+    "mitigation_trials": 200,
+    "hierarchy_trials": 100,
+    "largepage_trials": 200,
+    "rf_region_trials": 200,
+    "attack_key_bits": 128,
+    "attack_key_seed": 11,
+    "covert_bits": 500,
+    "covert_seed": 5,
+    "dpf_seeds": 50,
+    "profiling_seeds": 40,
+}
+
+
+def opt(options: Mapping[str, Any], key: str) -> Any:
+    return options.get(key, DEFAULT_OPTIONS[key])
+
+
+def _kind_names() -> List[str]:
+    from repro.security import TLBKind
+
+    return [kind.value for kind in (TLBKind.SA, TLBKind.SP, TLBKind.RF)]
+
+
+# --------------------------------------------------------------------------
+# Model (Table 2)
+# --------------------------------------------------------------------------
+
+
+@register("table2")
+class Table2Experiment(Experiment):
+    """Derive Table 2 and diff it against the paper's transcription."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        return [self.unit("derive")]
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.model import (
+            derive_vulnerabilities,
+            format_table,
+        )
+        from repro.model.table2 import table2_vulnerabilities
+
+        derived = derive_vulnerabilities()
+        expected = table2_vulnerabilities()
+        derived_set, expected_set = set(derived), set(expected)
+        return {
+            "table_text": format_table(derived),
+            "count": len(derived),
+            "match": derived_set == expected_set,
+            "missing": sorted(v.pretty() for v in expected_set - derived_set),
+            "unexpected": sorted(
+                v.pretty() for v in derived_set - expected_set
+            ),
+        }
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        return values[0]
+
+
+# --------------------------------------------------------------------------
+# Security evaluation (Tables 4 and 7)
+# --------------------------------------------------------------------------
+
+
+@register("table4")
+class Table4Experiment(Experiment):
+    """One cell per (design, Table 2 vulnerability)."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        from repro.model.table2 import table2_vulnerabilities
+        from repro.security import table4_cells
+
+        rows = table2_vulnerabilities()
+        trials = opt(options, "table4_trials")
+        return [
+            self.unit(
+                f"{kind.value}/{vulnerability.pretty()}",
+                kind=kind.value,
+                row=rows.index(vulnerability),
+                trials=trials,
+            )
+            for kind, vulnerability in table4_cells()
+        ]
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.model.table2 import table2_vulnerabilities
+        from repro.security import (
+            EvaluationConfig,
+            SecurityEvaluator,
+            TLBKind,
+        )
+
+        evaluator = SecurityEvaluator(
+            EvaluationConfig(trials=params["trials"])
+        )
+        vulnerability = table2_vulnerabilities()[params["row"]]
+        return evaluator.evaluate_vulnerability(
+            vulnerability, TLBKind(params["kind"])
+        )
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        from repro.security import table4_cells
+
+        table: Dict[Any, List[Any]] = {}
+        for (kind, _vulnerability), value in zip(table4_cells(), values):
+            table.setdefault(kind, []).append(value)
+        return table
+
+
+@register("table7")
+class Table7Experiment(Experiment):
+    """One cell per (design, Appendix B invalidation-only vulnerability)."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        from repro.model.extended import invalidation_only_vulnerabilities
+        from repro.security import extended_cells
+
+        rows = invalidation_only_vulnerabilities()
+        trials = opt(options, "table7_trials")
+        return [
+            self.unit(
+                f"{kind.value}/{vulnerability.pretty()}",
+                kind=kind.value,
+                row=rows.index(vulnerability),
+                trials=trials,
+            )
+            for kind, vulnerability in extended_cells()
+        ]
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.model.extended import invalidation_only_vulnerabilities
+        from repro.security import (
+            EvaluationConfig,
+            SecurityEvaluator,
+            TLBKind,
+        )
+
+        evaluator = SecurityEvaluator(
+            EvaluationConfig(trials=params["trials"])
+        )
+        vulnerability = invalidation_only_vulnerabilities()[params["row"]]
+        return evaluator.evaluate_vulnerability(
+            vulnerability, TLBKind(params["kind"])
+        )
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        from repro.security import extended_cells
+
+        table: Dict[Any, List[Any]] = {}
+        for (kind, _vulnerability), value in zip(extended_cells(), values):
+            table.setdefault(kind, []).append(value)
+        return table
+
+
+# --------------------------------------------------------------------------
+# Performance (Figure 7) and area (Table 5)
+# --------------------------------------------------------------------------
+
+
+def _fig7_unit_sets(options: Mapping[str, Any]):
+    """The grid and series cell enumerations, in serial-path order."""
+    from repro.perf import Scenario, figure7_units
+    from repro.workloads.spec import OMNETPP
+
+    grid = figure7_units(rsa_runs=tuple(opt(options, "fig7_rsa_runs")))
+    series = figure7_units(
+        rsa_runs=tuple(opt(options, "series_rsa_runs")),
+        scenarios=[
+            Scenario(secure=True),
+            Scenario(secure=True, spec=OMNETPP),
+        ],
+        config_labels=("4W 32",),
+    )
+    return grid, series
+
+
+@register("fig7")
+class Figure7Experiment(Experiment):
+    """One cell per (design, config, scenario, decryption count).
+
+    Covers both the full 19-configuration grid and the 50/100/150
+    decryption series; the two parts are distinguished by key prefix and
+    split back apart in :meth:`assemble`.
+    """
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        spec_instructions = opt(options, "fig7_spec_instructions")
+        key_bits = opt(options, "fig7_key_bits")
+        units = []
+        grid, series = _fig7_unit_sets(options)
+        for part, cells in (("grid", grid), ("series", series)):
+            for cell in cells:
+                units.append(
+                    self.unit(
+                        f"{part}/{cell.kind.value}/{cell.config_label}/"
+                        f"{cell.scenario.label}/{cell.rsa_runs}",
+                        part=part,
+                        kind=cell.kind.value,
+                        config=cell.config_label,
+                        scenario=cell.scenario.label,
+                        rsa_runs=cell.rsa_runs,
+                        spec_instructions=spec_instructions,
+                        key_bits=key_bits,
+                    )
+                )
+        return units
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.perf import PerfSettings, run_cell, scenario_by_label
+        from repro.security import TLBKind
+
+        settings = PerfSettings(
+            spec_instructions=params["spec_instructions"],
+            key_bits=params["key_bits"],
+        )
+        return run_cell(
+            TLBKind(params["kind"]),
+            params["config"],
+            scenario_by_label(params["scenario"]),
+            params["rsa_runs"],
+            settings,
+        )
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        grid, series = _fig7_unit_sets(options)
+        return {
+            "grid": values[: len(grid)],
+            "series": values[len(grid) : len(grid) + len(series)],
+        }
+
+
+@register("table5")
+class Table5Experiment(Experiment):
+    """The calibrated area model: a single cheap cell."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        return [self.unit("area-model")]
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.perf import AreaModel
+
+        model = AreaModel()
+        worst = model.max_relative_error()
+        return (
+            model.table5()
+            + f"\nfit: worst LUT err {worst[0]:.1%},"
+            f" worst reg err {worst[1]:.1%}\n"
+        )
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        return values[0]
+
+
+# --------------------------------------------------------------------------
+# Ablations (mitigation ladder, hierarchy, large pages, sweeps)
+# --------------------------------------------------------------------------
+
+
+@register("mitigations")
+class MitigationsExperiment(Experiment):
+    """One cell per (mitigation spec, Table 2 vulnerability)."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        from repro.ablations import mitigation_cells
+
+        trials = opt(options, "mitigation_trials")
+        return [
+            self.unit(
+                f"{spec.key}/{vulnerability.pretty()}",
+                mitigation=spec.key,
+                row=index,
+                trials=trials,
+            )
+            for spec, index, vulnerability in mitigation_cells()
+        ]
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.ablations import run_mitigation_cell
+
+        return run_mitigation_cell(
+            params["mitigation"], params["row"], trials=params["trials"]
+        )
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        from repro.ablations import MITIGATION_SPECS, mitigation_cells
+        from repro.ablations.mitigations import MitigationResult
+
+        grouped: Dict[str, List[Any]] = {}
+        for (spec, _index, _vulnerability), value in zip(
+            mitigation_cells(), values
+        ):
+            grouped.setdefault(spec.key, []).append(value)
+        return [
+            MitigationResult(
+                name=spec.name,
+                results=grouped[spec.key],
+                paper_claim=spec.paper_claim,
+            )
+            for spec in MITIGATION_SPECS
+        ]
+
+
+@register("hierarchy")
+class HierarchyExperiment(Experiment):
+    """One cell per (L1 kind, L2 kind, Table 2 vulnerability)."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        from repro.ablations import hierarchy_cells
+
+        trials = opt(options, "hierarchy_trials")
+        return [
+            self.unit(
+                f"{l1.value}-{l2.value}/{vulnerability.pretty()}",
+                l1=l1.value,
+                l2=l2.value,
+                row=index,
+                trials=trials,
+            )
+            for l1, l2, index, vulnerability in hierarchy_cells()
+        ]
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.ablations import evaluate_hierarchy_cell
+        from repro.model.table2 import table2_vulnerabilities
+        from repro.security import TLBKind
+
+        return evaluate_hierarchy_cell(
+            TLBKind(params["l1"]),
+            TLBKind(params["l2"]),
+            table2_vulnerabilities()[params["row"]],
+            trials=params["trials"],
+        )
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        from repro.ablations import HierarchyResult, hierarchy_cells
+
+        grouped: Dict[str, Dict[Any, Any]] = {}
+        for (l1, l2, _index, vulnerability), value in zip(
+            hierarchy_cells(), values
+        ):
+            name = f"{l1.value} L1 + {l2.value} L2"
+            grouped.setdefault(name, {})[vulnerability] = value
+        return [
+            HierarchyResult(name=name, estimates=estimates)
+            for name, estimates in grouped.items()
+        ]
+
+
+@register("largepages")
+class LargePagesExperiment(Experiment):
+    """One cell per (page model, Table 2 vulnerability) on the SA TLB."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        from repro.ablations import large_page_cells
+
+        trials = opt(options, "largepage_trials")
+        return [
+            self.unit(
+                f"{model}/{vulnerability.pretty()}",
+                model=model,
+                row=index,
+                trials=trials,
+            )
+            for model, index, vulnerability in large_page_cells()
+        ]
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.ablations import run_large_page_cell
+
+        return run_large_page_cell(
+            params["model"], params["row"], trials=params["trials"]
+        )
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        from repro.ablations import LargePageResult, large_page_cells
+
+        grouped: Dict[str, List[Any]] = {}
+        for (model, _index, _vulnerability), value in zip(
+            large_page_cells(), values
+        ):
+            grouped.setdefault(model, []).append(value)
+        return LargePageResult(
+            base_results=grouped.get("base", []),
+            extended_results=grouped.get("extended", []),
+        )
+
+
+@register("sweeps")
+class SweepsExperiment(Experiment):
+    """One cell per sweep point across the four design-space sweeps."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        from repro.tlb.config import ReplacementKind
+
+        units = []
+        for victim_ways in (1, 2, 3):
+            units.append(
+                self.unit(
+                    f"partition/{victim_ways}",
+                    point="partition",
+                    victim_ways=victim_ways,
+                )
+            )
+        region_trials = opt(options, "rf_region_trials")
+        for pages in (1, 2, 3, 8, 16, 31):
+            units.append(
+                self.unit(
+                    f"region/{pages}",
+                    point="region",
+                    pages=pages,
+                    trials=region_trials,
+                )
+            )
+        for policy in (
+            ReplacementKind.LRU,
+            ReplacementKind.TREE_PLRU,
+            ReplacementKind.FIFO,
+            ReplacementKind.RANDOM,
+        ):
+            units.append(
+                self.unit(
+                    f"policy/{policy.value}", point="policy", policy=policy.value
+                )
+            )
+        for cycles in (2, 5, 10, 20, 40):
+            units.append(
+                self.unit(f"walk/{cycles}", point="walk", cycles=cycles)
+            )
+        return units
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.ablations import (
+            replacement_policy_point,
+            rf_region_point,
+            sp_partition_point,
+            walk_latency_point,
+        )
+        from repro.tlb.config import ReplacementKind
+
+        point = params["point"]
+        if point == "partition":
+            return sp_partition_point(params["victim_ways"])
+        if point == "region":
+            return rf_region_point(params["pages"], trials=params["trials"])
+        if point == "policy":
+            return replacement_policy_point(ReplacementKind(params["policy"]))
+        if point == "walk":
+            return walk_latency_point(params["cycles"])
+        raise ValueError(f"unknown sweep point kind {point!r}")
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        grouped: Dict[str, List[Any]] = {
+            "partition": [],
+            "region": [],
+            "policy": [],
+            "walk": [],
+        }
+        for unit, value in zip(self.units(options), values):
+            grouped[unit.params["point"]].append(value)
+        return grouped
+
+
+# --------------------------------------------------------------------------
+# End-to-end attacks
+# --------------------------------------------------------------------------
+
+#: (attack key, kinds) in the exact order attacks.txt lists them.
+_ATTACK_ROWS = (
+    ("tlbleed", ("SA", "SP", "RF")),
+    ("multitrace", ("SA", "SP", "RF")),
+    ("eddsa", ("SA", "SP", "RF")),
+    ("dpf", ("SA", "SP", "RF")),
+    ("covert_serial", ("SA", "SP", "RF")),
+    ("covert_parallel", ("SA", "SP", "RF")),
+    ("itlb", ("SA", "SP", "RF")),
+    ("itlb_hardened", ("SA",)),
+    ("profiling", ("SA", "SP", "RF")),
+)
+
+
+@register("attacks")
+class AttacksExperiment(Experiment):
+    """One cell per (attack, TLB design)."""
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        key_bits = opt(options, "attack_key_bits")
+        key_seed = opt(options, "attack_key_seed")
+        covert_bits = opt(options, "covert_bits")
+        covert_seed = opt(options, "covert_seed")
+        dpf_seeds = opt(options, "dpf_seeds")
+        profiling_seeds = opt(options, "profiling_seeds")
+        units = []
+        for attack, kinds in _ATTACK_ROWS:
+            for kind in kinds:
+                params: Dict[str, Any] = {"attack": attack, "kind": kind}
+                if attack in ("tlbleed", "multitrace", "itlb",
+                              "itlb_hardened"):
+                    params.update(key_bits=key_bits, key_seed=key_seed)
+                if attack == "multitrace":
+                    params["traces"] = 15
+                if attack == "dpf":
+                    params["seeds"] = dpf_seeds
+                if attack in ("covert_serial", "covert_parallel"):
+                    params.update(bits=covert_bits, msg_seed=covert_seed)
+                if attack == "profiling":
+                    params["seeds"] = profiling_seeds
+                units.append(self.unit(f"{attack}/{kind}", **params))
+        return units
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.attacks import (
+            eddsa_attack,
+            itlb_attack,
+            multi_trace_attack,
+            parallel_transmit,
+            profile_secret_set,
+            random_message,
+            scan_secret_page,
+            tlbleed_attack,
+            transmit,
+        )
+        from repro.security import TLBKind
+        from repro.workloads.rsa import generate_key
+
+        attack = params["attack"]
+        kind = TLBKind(params["kind"])
+        if attack in ("tlbleed", "multitrace", "itlb", "itlb_hardened"):
+            key = generate_key(
+                bits=params["key_bits"], seed=params["key_seed"]
+            )
+            if attack == "tlbleed":
+                result = tlbleed_attack(kind, key=key)
+            elif attack == "multitrace":
+                result = multi_trace_attack(
+                    kind, key=key, traces=params["traces"]
+                )
+            else:
+                result = itlb_attack(
+                    kind, hardened=(attack == "itlb_hardened"), key=key
+                )
+            return {
+                "accuracy": result.accuracy,
+                "exact": result.recovered_exactly,
+            }
+        if attack == "eddsa":
+            result = eddsa_attack(kind)
+            return {
+                "accuracy": result.accuracy,
+                "exact": result.recovered_exactly,
+            }
+        if attack == "dpf":
+            correct = sum(
+                scan_secret_page(kind, seed=seed).correct
+                for seed in range(params["seeds"])
+            )
+            return {"correct": correct, "total": params["seeds"]}
+        if attack in ("covert_serial", "covert_parallel"):
+            message = random_message(params["bits"], seed=params["msg_seed"])
+            send = transmit if attack == "covert_serial" else parallel_transmit
+            channel = send(message, kind)
+            return {
+                "ber": channel.bit_error_rate,
+                "capacity": channel.empirical_capacity(),
+                "rate": channel.bits_per_kilocycle,
+            }
+        if attack == "profiling":
+            correct = sum(
+                profile_secret_set(
+                    kind, secret_vpn=0x100 + seed % 8, seed=seed
+                ).correct
+                for seed in range(params["seeds"])
+            )
+            return {"correct": correct, "total": params["seeds"]}
+        raise ValueError(f"unknown attack {attack!r}")
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        return [
+            (unit.params, value)
+            for unit, value in zip(self.units(options), values)
+        ]

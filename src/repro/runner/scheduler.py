@@ -1,0 +1,372 @@
+"""The parallel executor: shard cells across workers, survive failures.
+
+Workers are plain ``multiprocessing`` processes fed from a bounded task
+queue.  Each worker announces a *claim* before running a cell, so the
+parent always knows which cell died with a crashed worker; crashed or
+erroring cells are retried with exponential backoff up to ``max_retries``
+times, then marked failed -- a dead worker never loses the run, and never
+blocks the remaining cells.
+
+Determinism comes from the units, not the schedule: every
+:class:`~repro.runner.registry.Unit` carries its own stable seed and its
+run function derives any internal RNG from the cell's identity, so results
+are identical for any ``--jobs`` value and any completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from .progress import ProgressPrinter, RunLog
+from .registry import Unit, get_experiment
+
+
+@dataclass
+class TaskOutcome:
+    """Terminal state of one scheduled cell."""
+
+    unit: Unit
+    value: Any = None
+    elapsed: float = 0.0
+    worker: Optional[int] = None
+    attempts: int = 1
+    cached: bool = False
+    failed: bool = False
+    error: Optional[str] = None
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+) -> None:
+    """Worker loop: claim, run, report; exit on the ``None`` sentinel."""
+    from repro.runner.registry import ensure_default_experiments
+
+    ensure_default_experiments()
+    while True:
+        item = task_queue.get()
+        if item is None:
+            result_queue.put(("bye", worker_id, -1, None, 0.0))
+            return
+        task_id, experiment_name, params = item
+        result_queue.put(("claim", worker_id, task_id, None, 0.0))
+        start = time.perf_counter()
+        try:
+            value = get_experiment(experiment_name).run(params)
+        except BaseException:
+            result_queue.put(
+                (
+                    "err",
+                    worker_id,
+                    task_id,
+                    traceback.format_exc(),
+                    time.perf_counter() - start,
+                )
+            )
+        else:
+            result_queue.put(
+                ("ok", worker_id, task_id, value, time.perf_counter() - start)
+            )
+
+
+class Scheduler:
+    """Run units across ``jobs`` worker processes (see module docstring)."""
+
+    def __init__(
+        self,
+        jobs: int,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        log: Optional[RunLog] = None,
+        progress: Optional[ProgressPrinter] = None,
+        poll_interval: float = 0.1,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.log = log or RunLog(None)
+        self.progress = progress
+        self.poll_interval = poll_interval
+        self.retries = 0
+        self.worker_crashes = 0
+        self.worker_busy: Dict[int, float] = {}
+        # ``fork`` keeps test-registered experiments visible to workers and
+        # avoids re-importing the package per process; fall back to the
+        # platform default where fork does not exist.
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._ctx = multiprocessing.get_context()
+
+    # -- internals -----------------------------------------------------------------
+
+    def _spawn_worker(self, worker_id: int, task_queue, result_queue):
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, task_queue, result_queue),
+            daemon=True,
+            name=f"repro-worker-{worker_id}",
+        )
+        process.start()
+        return process
+
+    def run(self, units: List[Tuple[int, Unit]]) -> Dict[int, TaskOutcome]:
+        """Execute ``(task_id, unit)`` pairs; returns outcomes by task id."""
+        if not units:
+            return {}
+        jobs = min(self.jobs, len(units))
+        task_queue = self._ctx.Queue(maxsize=max(2, 2 * jobs))
+        result_queue = self._ctx.Queue()
+        by_id = {task_id: unit for task_id, unit in units}
+
+        #: (task_id, not_before) cells awaiting dispatch.
+        pending: deque = deque((task_id, 0.0) for task_id, _unit in units)
+        attempts: Dict[int, int] = {task_id: 0 for task_id, _unit in units}
+        #: task_id -> worker currently executing it.
+        claimed: Dict[int, int] = {}
+        #: Cells handed to the queue whose fate is unknown.
+        dispatched: set = set()
+        outcomes: Dict[int, TaskOutcome] = {}
+
+        self._next_worker_id = jobs
+        workers: Dict[int, Any] = {}
+        for worker_id in range(jobs):
+            workers[worker_id] = self._spawn_worker(
+                worker_id, task_queue, result_queue
+            )
+            self.worker_busy.setdefault(worker_id, 0.0)
+
+        def schedule_retry(task_id: int, reason: str, error: str) -> None:
+            attempts[task_id] += 1
+            unit = by_id[task_id]
+            if attempts[task_id] <= self.max_retries:
+                delay = self.backoff * (2 ** (attempts[task_id] - 1))
+                pending.append((task_id, time.monotonic() + delay))
+                self.retries += 1
+                self.log.emit(
+                    "retry",
+                    experiment=unit.experiment,
+                    key=unit.key,
+                    attempt=attempts[task_id],
+                    backoff=round(delay, 3),
+                    reason=reason,
+                )
+            else:
+                outcomes[task_id] = TaskOutcome(
+                    unit=unit,
+                    failed=True,
+                    error=error,
+                    attempts=attempts[task_id],
+                )
+                self.log.emit(
+                    "unit_done",
+                    experiment=unit.experiment,
+                    key=unit.key,
+                    status="failed",
+                    attempts=attempts[task_id],
+                    error=error.splitlines()[-1] if error else None,
+                )
+
+        try:
+            while len(outcomes) < len(by_id):
+                # Feed the bounded queue from the pending deque.
+                now = time.monotonic()
+                deferred = []
+                while pending:
+                    task_id, not_before = pending.popleft()
+                    if not_before > now:
+                        deferred.append((task_id, not_before))
+                        continue
+                    try:
+                        unit = by_id[task_id]
+                        task_queue.put_nowait(
+                            (task_id, unit.experiment, dict(unit.params))
+                        )
+                        dispatched.add(task_id)
+                    except queue_module.Full:
+                        deferred.append((task_id, not_before))
+                        break
+                pending.extend(deferred)
+
+                # Drain results.
+                try:
+                    kind, worker_id, task_id, payload, elapsed = (
+                        result_queue.get(timeout=self.poll_interval)
+                    )
+                except queue_module.Empty:
+                    self._check_workers(
+                        workers, claimed, dispatched, outcomes, pending,
+                        task_queue, result_queue, schedule_retry,
+                    )
+                    # A worker can die between dequeuing a task and claiming
+                    # it; if everything is quiet but cells are unaccounted
+                    # for, re-dispatch them (duplicate completions are
+                    # ignored, and cells are deterministic anyway).
+                    if (
+                        not pending
+                        and not claimed
+                        and task_queue.empty()
+                        and len(outcomes) < len(by_id)
+                    ):
+                        lost = [
+                            task_id
+                            for task_id in dispatched
+                            if task_id not in outcomes
+                        ]
+                        for task_id in lost:
+                            schedule_retry(
+                                task_id, "lost-in-flight", "task lost in flight"
+                            )
+                    continue
+
+                if kind == "bye":
+                    continue
+                if kind == "claim":
+                    claimed[task_id] = worker_id
+                    continue
+                claimed.pop(task_id, None)
+                dispatched.discard(task_id)
+                self.worker_busy[worker_id] = (
+                    self.worker_busy.get(worker_id, 0.0) + elapsed
+                )
+                if task_id in outcomes:
+                    continue  # duplicate completion after a lost-task retry
+                unit = by_id[task_id]
+                if kind == "ok":
+                    outcomes[task_id] = TaskOutcome(
+                        unit=unit,
+                        value=payload,
+                        elapsed=elapsed,
+                        worker=worker_id,
+                        attempts=attempts[task_id] + 1,
+                    )
+                    self.log.emit(
+                        "unit_done",
+                        experiment=unit.experiment,
+                        key=unit.key,
+                        status="ok",
+                        cached=False,
+                        elapsed=round(elapsed, 4),
+                        worker=worker_id,
+                        attempts=attempts[task_id] + 1,
+                    )
+                    if self.progress is not None:
+                        self.progress.update(
+                            done=len(outcomes),
+                            retries=self.retries,
+                            workers=len(workers),
+                        )
+                else:  # "err"
+                    schedule_retry(task_id, "exception", payload)
+
+                self._check_workers(
+                    workers, claimed, dispatched, outcomes, pending,
+                    task_queue, result_queue, schedule_retry,
+                )
+        finally:
+            self._shutdown(workers, task_queue)
+        return outcomes
+
+    def _check_workers(
+        self,
+        workers,
+        claimed,
+        dispatched,
+        outcomes,
+        pending,
+        task_queue,
+        result_queue,
+        schedule_retry,
+    ) -> None:
+        """Detect crashed workers, recover their cells, and respawn."""
+        for worker_id, process in list(workers.items()):
+            if process.is_alive():
+                continue
+            # Workers only exit on the shutdown sentinel, which is sent
+            # after this loop finishes -- a dead worker here is a crash.
+            self.worker_crashes += 1
+            self.log.emit(
+                "worker_crash",
+                worker=worker_id,
+                pid=process.pid,
+                exitcode=process.exitcode,
+            )
+            del workers[worker_id]
+            for task_id, claimant in list(claimed.items()):
+                if claimant == worker_id:
+                    del claimed[task_id]
+                    dispatched.discard(task_id)
+                    schedule_retry(
+                        task_id,
+                        "worker-crash",
+                        f"worker {worker_id} died (exit {process.exitcode})",
+                    )
+            replacement_id = self._next_worker_id
+            self._next_worker_id += 1
+            workers[replacement_id] = self._spawn_worker(
+                replacement_id, task_queue, result_queue
+            )
+            self.worker_busy.setdefault(replacement_id, 0.0)
+
+    def _shutdown(self, workers, task_queue) -> None:
+        for _ in workers:
+            try:
+                task_queue.put_nowait(None)
+            except queue_module.Full:  # pragma: no cover - tiny queue race
+                pass
+        deadline = time.monotonic() + 5.0
+        for process in workers.values():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in workers.values():
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=1.0)
+        task_queue.close()
+        task_queue.cancel_join_thread()
+
+
+def run_units_serially(
+    units: List[Tuple[int, Unit]], log: Optional[RunLog] = None
+) -> Dict[int, TaskOutcome]:
+    """In-process execution (``--jobs 1``): same semantics, no processes."""
+    log = log or RunLog(None)
+    outcomes: Dict[int, TaskOutcome] = {}
+    for task_id, unit in units:
+        start = time.perf_counter()
+        try:
+            value = get_experiment(unit.experiment).run(dict(unit.params))
+        except Exception:
+            error = traceback.format_exc()
+            outcomes[task_id] = TaskOutcome(
+                unit=unit, failed=True, error=error
+            )
+            log.emit(
+                "unit_done",
+                experiment=unit.experiment,
+                key=unit.key,
+                status="failed",
+                error=error.splitlines()[-1],
+            )
+            continue
+        elapsed = time.perf_counter() - start
+        outcomes[task_id] = TaskOutcome(
+            unit=unit, value=value, elapsed=elapsed, worker=0
+        )
+        log.emit(
+            "unit_done",
+            experiment=unit.experiment,
+            key=unit.key,
+            status="ok",
+            cached=False,
+            elapsed=round(elapsed, 4),
+            worker=0,
+            attempts=1,
+        )
+    return outcomes

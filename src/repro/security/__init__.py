@@ -22,7 +22,9 @@ from .evaluate import (
     SecurityEvaluator,
     VulnerabilityResult,
     defended_counts,
+    extended_cells,
     format_table4,
+    table4_cells,
 )
 from .kinds import TLBKind, make_tlb
 from .theory import TheoreticalModel
@@ -36,8 +38,10 @@ __all__ = [
     "VulnerabilityResult",
     "alias_page",
     "defended_counts",
+    "extended_cells",
     "format_table4",
     "generate",
+    "table4_cells",
     "layout_for_partitioned_tlb",
     "make_tlb",
     "region_size_for",

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.isa import CPU, ExecutionStatus, Program, assemble
 from repro.model.capacity import ChannelEstimate
@@ -188,10 +188,11 @@ class SecurityEvaluator:
         vulnerabilities: Optional[Sequence[Vulnerability]] = None,
         trials: Optional[int] = None,
     ) -> List[VulnerabilityResult]:
-        rows = vulnerabilities or table2_vulnerabilities()
         return [
-            self.evaluate_vulnerability(vulnerability, kind, trials)
-            for vulnerability in rows
+            self.evaluate_vulnerability(vulnerability, cell_kind, trials)
+            for cell_kind, vulnerability in table4_cells(
+                kinds=(kind,), vulnerabilities=vulnerabilities
+            )
         ]
 
     def evaluate_table4(
@@ -199,9 +200,12 @@ class SecurityEvaluator:
         kinds: Iterable[TLBKind] = (TLBKind.SA, TLBKind.SP, TLBKind.RF),
         trials: Optional[int] = None,
     ) -> Dict[TLBKind, List[VulnerabilityResult]]:
-        return {
-            kind: self.evaluate_kind(kind, trials=trials) for kind in kinds
-        }
+        table: Dict[TLBKind, List[VulnerabilityResult]] = {}
+        for kind, vulnerability in table4_cells(kinds=kinds):
+            table.setdefault(kind, []).append(
+                self.evaluate_vulnerability(vulnerability, kind, trials)
+            )
+        return table
 
     def evaluate_extended(
         self,
@@ -215,12 +219,42 @@ class SecurityEvaluator:
         timing; invalidation probes measure the cycle counter instead of
         the miss counter.
         """
-        from repro.model.extended import invalidation_only_vulnerabilities
-
         return [
-            self.evaluate_vulnerability(vulnerability, kind, trials)
-            for vulnerability in invalidation_only_vulnerabilities()
+            self.evaluate_vulnerability(vulnerability, cell_kind, trials)
+            for cell_kind, vulnerability in extended_cells(kinds=(kind,))
         ]
+
+
+def table4_cells(
+    kinds: Iterable[TLBKind] = (TLBKind.SA, TLBKind.SP, TLBKind.RF),
+    vulnerabilities: Optional[Sequence[Vulnerability]] = None,
+) -> List[Tuple[TLBKind, Vulnerability]]:
+    """The Table 4 work-list, one entry per (design, vulnerability) cell.
+
+    Every cell is independent -- :meth:`SecurityEvaluator.evaluate_vulnerability`
+    derives its RNG from the cell's own label -- so this enumeration is the
+    unit of sharding for :mod:`repro.runner` as well as the serial iteration
+    order of :meth:`SecurityEvaluator.evaluate_table4`.
+    """
+    rows = (
+        list(vulnerabilities)
+        if vulnerabilities is not None
+        else table2_vulnerabilities()
+    )
+    return [(kind, vulnerability) for kind in kinds for vulnerability in rows]
+
+
+def extended_cells(
+    kinds: Iterable[TLBKind] = (TLBKind.SA, TLBKind.SP, TLBKind.RF),
+) -> List[Tuple[TLBKind, Vulnerability]]:
+    """The Appendix B work-list (Table 7 rows), at cell granularity."""
+    from repro.model.extended import invalidation_only_vulnerabilities
+
+    return [
+        (kind, vulnerability)
+        for kind in kinds
+        for vulnerability in invalidation_only_vulnerabilities()
+    ]
 
 
 def defended_counts(

@@ -103,8 +103,13 @@ class BaseTLB(abc.ABC):
         if entry is not None:
             entry.touch(self._clock)
             self.stats.record_access(hit=True, asid=asid)
+            # A hit inserts nothing: the entry was already resident (it may
+            # even be a *random* fill's, never the requested translation).
             return AccessResult(
-                hit=True, ppn=entry.translate(vpn), cycles=self.config.hit_latency
+                hit=True,
+                ppn=entry.translate(vpn),
+                cycles=self.config.hit_latency,
+                filled=False,
             )
         self.stats.record_access(hit=False, asid=asid)
         return self._handle_miss(vpn, asid, translator)

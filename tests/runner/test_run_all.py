@@ -1,0 +1,145 @@
+"""End-to-end tests for ``run_all``: determinism, caching, artifacts.
+
+Trial counts are tiny -- determinism does not depend on fidelity, since
+every cell seeds its RNG from its own identity.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import run_all
+
+#: Reduced-fidelity knobs shared by the tests below.
+SMALL = {"table4_trials": 4}
+
+
+def read_events(path):
+    with open(path) as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+@pytest.fixture(scope="module")
+def serial_dir(tmp_path_factory):
+    results = tmp_path_factory.mktemp("serial")
+    report = run_all(
+        jobs=1,
+        use_cache=False,
+        filters=["table4*"],
+        results_dir=results,
+        options=SMALL,
+        progress=False,
+    )
+    assert report.ok
+    return results
+
+
+class TestDeterminism:
+    def test_parallel_table4_is_byte_identical_to_serial(
+        self, serial_dir, tmp_path
+    ):
+        report = run_all(
+            jobs=3,
+            use_cache=False,
+            filters=["table4*"],
+            results_dir=tmp_path,
+            options=SMALL,
+            progress=False,
+        )
+        assert report.ok
+        for name in ("table4_full.txt", "table4_full.csv"):
+            assert (tmp_path / name).read_bytes() == (
+                serial_dir / name
+            ).read_bytes(), f"{name} differs between --jobs 1 and --jobs 3"
+
+    def test_repeated_serial_runs_are_identical(self, serial_dir, tmp_path):
+        run_all(
+            jobs=1,
+            use_cache=False,
+            filters=["table4*"],
+            results_dir=tmp_path,
+            options=SMALL,
+            progress=False,
+        )
+        assert (tmp_path / "table4_full.txt").read_bytes() == (
+            serial_dir / "table4_full.txt"
+        ).read_bytes()
+
+
+class TestCaching:
+    def test_warm_cache_hits_over_ninety_percent(self, tmp_path):
+        kwargs = dict(
+            jobs=2,
+            filters=["table2*", "table5*"],
+            results_dir=tmp_path / "results",
+            cache_dir=tmp_path / "cache",
+            progress=False,
+        )
+        cold = run_all(**kwargs)
+        assert cold.ok and cold.cache_hits == 0
+
+        warm = run_all(**kwargs)
+        assert warm.ok
+        assert warm.cache_hit_rate >= 0.9
+        # The acceptance criterion reads the rate from the JSONL run log.
+        run_end = read_events(tmp_path / "results" / "run_log.jsonl")[-1]
+        assert run_end["event"] == "run_end"
+        assert run_end["cache_hit_rate"] >= 0.9
+
+    def test_no_cache_flag_skips_the_cache(self, tmp_path):
+        kwargs = dict(
+            jobs=1,
+            use_cache=False,
+            filters=["table2*"],
+            results_dir=tmp_path / "results",
+            cache_dir=tmp_path / "cache",
+            progress=False,
+        )
+        run_all(**kwargs)
+        second = run_all(**kwargs)
+        assert second.cache_hits == 0
+        assert not (tmp_path / "cache").exists()
+
+    def test_option_change_invalidates_cached_cells(self, tmp_path):
+        kwargs = dict(
+            jobs=1,
+            filters=["table4/SA/*"],
+            results_dir=tmp_path / "results",
+            cache_dir=tmp_path / "cache",
+            progress=False,
+        )
+        run_all(options={"table4_trials": 3}, **kwargs)
+        changed = run_all(options={"table4_trials": 4}, **kwargs)
+        assert changed.cache_hits == 0
+
+
+class TestArtifacts:
+    def test_partial_experiment_writes_no_artifact(self, tmp_path):
+        report = run_all(
+            jobs=1,
+            use_cache=False,
+            filters=["table4/SA/*"],
+            results_dir=tmp_path,
+            options=SMALL,
+            progress=False,
+        )
+        assert report.ok
+        assert report.artifacts == []
+        assert not (tmp_path / "table4_full.txt").exists()
+
+    def test_run_log_schema(self, serial_dir):
+        events = read_events(serial_dir / "run_log.jsonl")
+        assert events[0]["event"] == "run_start"
+        assert events[-1]["event"] == "run_end"
+        done = [e for e in events if e["event"] == "unit_done"]
+        assert len(done) == 72
+        for record in done:
+            assert record["experiment"] == "table4"
+            assert record["status"] == "ok"
+        for field in (
+            "cells_per_second",
+            "cache_hit_rate",
+            "worker_utilization",
+            "elapsed",
+        ):
+            assert field in events[-1]
