@@ -16,11 +16,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.model.capacity import channel_capacity
 from repro.mmu import PageTableWalker
 from repro.security.kinds import TLBKind, make_tlb
+from repro.sim.events import EventBus
+from repro.sim.probe import SetProber
+from repro.sim.system import MemorySystem
 from repro.tlb import RandomFillTLB, TLBConfig
 
 SENDER_ASID = 1  # The "victim" role: the protected process.
@@ -74,6 +77,7 @@ def transmit(
     config: TLBConfig = TLBConfig(entries=32, ways=8),
     monitored_set: int = 0,
     seed: int = 0,
+    bus: Optional[EventBus] = None,
 ) -> CovertChannelResult:
     """Send ``bits`` over the Prime + Probe covert channel."""
     if not bits or any(bit not in "01" for bit in bits):
@@ -91,36 +95,25 @@ def transmit(
         # The sender's signalling region is "secure" -- the scenario where
         # the defence must break the channel.
         tlb.set_secure_region(signal_page, nsets, victim_asid=SENDER_ASID)
-    walker = PageTableWalker(auto_map=True)
-    probe_pages = [
-        PROBE_BASE - (PROBE_BASE % nsets) + monitored_set + i * nsets
-        for i in range(config.ways)
-    ]
+    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
+    receiver = SetProber.for_set(
+        memory, PROBE_BASE, monitored_set, RECEIVER_ASID, nsets, config.ways
+    )
 
     # Sending 0 accesses a different-set page rather than idling: Table 3's
     # binary behaviours are "maps to the tested block" vs "does not", which
     # is what the RF TLB's randomization equalizes.
     zero_page = signal_page + 1
 
-    cycles = 0
     received: List[str] = []
     for bit in bits:
-        # Receiver primes.
-        for vpn in probe_pages:
-            cycles += tlb.translate(vpn, RECEIVER_ASID, walker).cycles
+        receiver.prime()
         # Sender signals.
         sender_page = signal_page if bit == "1" else zero_page
-        cycles += tlb.translate(sender_page, SENDER_ASID, walker).cycles
-        # Receiver probes.
-        misses = 0
-        for vpn in probe_pages:
-            result = tlb.translate(vpn, RECEIVER_ASID, walker)
-            cycles += result.cycles
-            if result.miss:
-                misses += 1
-        received.append("1" if misses else "0")
+        memory.translate(sender_page, SENDER_ASID)
+        received.append("1" if receiver.probe().evicted else "0")
     return CovertChannelResult(
-        sent=bits, received="".join(received), kind=kind, cycles=cycles
+        sent=bits, received="".join(received), kind=kind, cycles=memory.cycles
     )
 
 
@@ -135,6 +128,7 @@ def parallel_transmit(
     kind: TLBKind = TLBKind.SA,
     config: TLBConfig = TLBConfig(entries=32, ways=8),
     seed: int = 0,
+    bus: Optional[EventBus] = None,
 ) -> CovertChannelResult:
     """Several covert-channel bits per prime/probe round.
 
@@ -168,43 +162,35 @@ def parallel_transmit(
         tlb.set_secure_region(
             SIGNAL_BASE - (SIGNAL_BASE % nsets), nsets, victim_asid=SENDER_ASID
         )
-    walker = PageTableWalker(auto_map=True)
+    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
 
     signal_base = SIGNAL_BASE - (SIGNAL_BASE % nsets)
-    probe_base = PROBE_BASE - (PROBE_BASE % nsets)
     # Lane i signals in sets 2i (bit 1) / 2i+1 (bit 0).
-    probe_groups = [
-        [probe_base + set_index + i * nsets for i in range(config.ways)]
+    probers = [
+        SetProber.for_set(
+            memory, PROBE_BASE, set_index, RECEIVER_ASID, nsets, config.ways
+        )
         for set_index in range(nsets)
     ]
 
     padded = bits + "0" * ((-len(bits)) % lanes)
-    cycles = 0
     received = []
     for round_start in range(0, len(padded), lanes):
         symbols = padded[round_start : round_start + lanes]
-        for group in probe_groups:
-            for vpn in group:
-                cycles += tlb.translate(vpn, RECEIVER_ASID, walker).cycles
+        for prober in probers:
+            prober.prime()
         for lane, bit in enumerate(symbols):
             set_index = 2 * lane + (0 if bit == "1" else 1)
-            cycles += tlb.translate(
-                signal_base + set_index, SENDER_ASID, walker
-            ).cycles
+            memory.translate(signal_base + set_index, SENDER_ASID)
         for lane, _bit in enumerate(symbols):
-            counts = []
-            for set_index in (2 * lane, 2 * lane + 1):
-                misses = 0
-                for vpn in probe_groups[set_index]:
-                    result = tlb.translate(vpn, RECEIVER_ASID, walker)
-                    cycles += result.cycles
-                    if result.miss:
-                        misses += 1
-                counts.append(misses)
+            counts = [
+                probers[set_index].probe().misses
+                for set_index in (2 * lane, 2 * lane + 1)
+            ]
             received.append("1" if counts[0] >= counts[1] else "0")
     return CovertChannelResult(
         sent=padded,
         received="".join(received),
         kind=kind,
-        cycles=cycles,
+        cycles=memory.cycles,
     )

@@ -23,6 +23,8 @@ from typing import List, Optional
 
 from repro.mmu import PageTableWalker
 from repro.security.kinds import TLBKind, make_tlb
+from repro.sim.events import EventBus
+from repro.sim.system import MemorySystem
 from repro.tlb import RandomFillTLB, TLBConfig
 from repro.tlb.base import BaseTLB
 
@@ -53,10 +55,11 @@ class ScanResult:
 
 def probe_candidate(
     tlb: BaseTLB,
-    walker: PageTableWalker,
-    secret_vpn: int,
-    candidate_vpn: int,
+    walker: Optional[PageTableWalker] = None,
+    secret_vpn: int = 0,
+    candidate_vpn: int = 0,
     noise_vpn: int = 0x700,
+    memory: Optional[MemorySystem] = None,
 ) -> bool:
     """One three-step round: returns True if the candidate reload was fast.
 
@@ -64,10 +67,15 @@ def probe_candidate(
     block without the candidate's translation.  Step 2 (``V_u``): the
     victim's secret access.  Step 3 (``V_a``): the victim reloads the
     candidate; a hit means the secret access installed it, i.e. u == a.
+
+    Callers holding a bare TLB + walker may pass them directly; the round
+    still runs through a (throwaway) :class:`repro.sim.MemorySystem`.
     """
-    tlb.translate(noise_vpn, ATTACKER_ASID, walker)  # A_d
-    tlb.translate(secret_vpn, VICTIM_ASID, walker)  # V_u
-    return tlb.translate(candidate_vpn, VICTIM_ASID, walker).hit  # V_a
+    if memory is None:
+        memory = MemorySystem(tlb, walker)
+    memory.translate(noise_vpn, ATTACKER_ASID)  # A_d
+    memory.translate(secret_vpn, VICTIM_ASID)  # V_u
+    return memory.translate(candidate_vpn, VICTIM_ASID).hit  # V_a
 
 
 def scan_secret_page(
@@ -77,6 +85,7 @@ def scan_secret_page(
     region_pages: int = 3,
     config: TLBConfig = TLBConfig(entries=32, ways=8),
     seed: int = 0,
+    bus: Optional[EventBus] = None,
 ) -> ScanResult:
     """Scan every region page, flushing between rounds (fresh Step 1)."""
     if not 0 <= secret_offset < region_pages:
@@ -91,11 +100,13 @@ def scan_secret_page(
     )
     if isinstance(tlb, RandomFillTLB):
         tlb.set_secure_region(region_base, region_pages, victim_asid=VICTIM_ASID)
-    walker = PageTableWalker(auto_map=True)
+    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
 
     hits = []
     for candidate in range(region_base, region_base + region_pages):
-        tlb.flush_all()  # independent rounds
-        if probe_candidate(tlb, walker, secret_vpn, candidate):
+        memory.flush_all()  # independent rounds
+        if probe_candidate(
+            tlb, secret_vpn=secret_vpn, candidate_vpn=candidate, memory=memory
+        ):
             hits.append(candidate)
     return ScanResult(secret_vpn=secret_vpn, hits=hits, kind=kind)

@@ -15,6 +15,10 @@ TLBleed's 92% single-trace success on real hardware; the simulator has no
 system noise).  Against the RF TLB the victim's secure-region accesses fill
 *random* region pages, decorrelating evictions from ``tp`` and driving the
 recovery toward guessing.
+
+Attacker and victim share one :class:`repro.sim.MemorySystem`; the
+prime/probe mechanics come from :class:`repro.sim.SetProber`.  Every
+entry point accepts an optional ``bus`` for event-trace observability.
 """
 
 from __future__ import annotations
@@ -25,6 +29,9 @@ from typing import List, Optional
 
 from repro.mmu import PageTableWalker
 from repro.security.kinds import TLBKind, make_tlb
+from repro.sim.events import EventBus
+from repro.sim.probe import SetProber, pages_for_set
+from repro.sim.system import MemorySystem
 from repro.tlb import RandomFillTLB, TLBConfig
 from repro.tlb.base import BaseTLB
 from repro.workloads.rsa import MPIBuffers, RSAKey, TracedModExp, generate_key
@@ -55,35 +62,24 @@ class AttackResult:
         return self.true_bits == self.recovered_bits
 
 
-class PrimeProbeAttacker:
+class PrimeProbeAttacker(SetProber):
     """Monitors one TLB set through the prime/probe cycle."""
 
     def __init__(
         self,
-        tlb: BaseTLB,
-        walker: PageTableWalker,
+        memory: MemorySystem,
         monitored_set: int,
         nsets: int,
         ways: int,
         asid: int = ATTACKER_ASID,
     ) -> None:
-        self.tlb = tlb
-        self.walker = walker
-        self.asid = asid
-        base = PROBE_BASE - (PROBE_BASE % nsets) + monitored_set
-        self.probe_pages = [base + i * nsets for i in range(ways)]
+        super().__init__(
+            memory, pages_for_set(PROBE_BASE, monitored_set, nsets, ways), asid
+        )
 
-    def prime(self) -> None:
-        for vpn in self.probe_pages:
-            self.tlb.translate(vpn, self.asid, self.walker)
-
-    def probe(self) -> int:
-        """Re-access the priming pages; return the number of misses."""
-        misses = 0
-        for vpn in self.probe_pages:
-            if self.tlb.translate(vpn, self.asid, self.walker).miss:
-                misses += 1
-        return misses
+    @property
+    def probe_pages(self) -> List[int]:
+        return self.pages
 
 
 def recover_secret_bits(
@@ -92,6 +88,7 @@ def recover_secret_bits(
     victim,
     monitored_page: int,
     nsets: Optional[int] = None,
+    bus: Optional[EventBus] = None,
 ) -> str:
     """Prime + Probe a traced victim's secret-dependent page, per window.
 
@@ -101,10 +98,10 @@ def recover_secret_bits(
     ``("bit", index, _)`` window boundaries and ``("access", gap, vpn)``
     page touches.  Returns one recovered bit per window, MSB first.
     """
+    memory = MemorySystem(tlb, walker, bus=bus)
     nsets = nsets if nsets is not None else tlb.config.sets
     attacker = PrimeProbeAttacker(
-        tlb,
-        walker,
+        memory,
         monitored_set=monitored_page % nsets,
         nsets=nsets,
         ways=tlb.config.ways,
@@ -114,13 +111,13 @@ def recover_secret_bits(
     for kind, _arg1, vpn in victim.run():
         if kind == "bit":
             if pending_probe:
-                recovered.append("1" if attacker.probe() else "0")
+                recovered.append("1" if attacker.probe().evicted else "0")
             attacker.prime()
             pending_probe = True
         else:
-            tlb.translate(vpn, VICTIM_ASID, walker)
+            memory.translate(vpn, VICTIM_ASID)
     if pending_probe:
-        recovered.append("1" if attacker.probe() else "0")
+        recovered.append("1" if attacker.probe().evicted else "0")
     return "".join(recovered)
 
 
@@ -131,11 +128,13 @@ def recover_exponent(
     ciphertext: int,
     buffers: MPIBuffers = MPIBuffers(),
     nsets: Optional[int] = None,
+    bus: Optional[EventBus] = None,
 ) -> str:
     """Run one decryption under Prime + Probe; return the recovered bits."""
     victim = TracedModExp(ciphertext, key.d, key.n, buffers)
     recovered = recover_secret_bits(
-        tlb, walker, victim, monitored_page=buffers.tp_vpn, nsets=nsets
+        tlb, walker, victim, monitored_page=buffers.tp_vpn, nsets=nsets,
+        bus=bus,
     )
     assert victim.result == pow(ciphertext, key.d, key.n)
     return recovered
@@ -146,6 +145,7 @@ def tlbleed_attack(
     key: Optional[RSAKey] = None,
     config: TLBConfig = TLBConfig(entries=32, ways=8),
     seed: int = 0,
+    bus: Optional[EventBus] = None,
 ) -> AttackResult:
     """End-to-end TLBleed-style attack against one TLB design."""
     key = key or generate_key(bits=64, seed=11)
@@ -163,7 +163,7 @@ def tlbleed_attack(
         )
     walker = PageTableWalker(auto_map=True)
     ciphertext = key.encrypt(0xC0FFEE % key.n)
-    recovered = recover_exponent(tlb, walker, key, ciphertext, buffers)
+    recovered = recover_exponent(tlb, walker, key, ciphertext, buffers, bus=bus)
     true_bits = format(key.d, "b")
     return AttackResult(true_bits=true_bits, recovered_bits=recovered, kind=kind)
 
@@ -211,9 +211,9 @@ def noisy_tlbleed_attack(
             tlb.set_secure_region(
                 buffers.sbase, buffers.ssize, victim_asid=VICTIM_ASID
             )
+        memory = MemorySystem(tlb, walker)
         attacker = PrimeProbeAttacker(
-            tlb,
-            walker,
+            memory,
             monitored_set=buffers.tp_vpn % config.sets,
             nsets=config.sets,
             ways=config.ways,
@@ -224,18 +224,20 @@ def noisy_tlbleed_attack(
         for kind_name, _arg1, vpn in victim.run():
             if kind_name == "bit":
                 if pending_probe:
-                    recovered.append("1" if attacker.probe() else "0")
+                    recovered.append(
+                        "1" if attacker.probe().evicted else "0"
+                    )
                 attacker.prime()
                 for _ in range(noise_accesses_per_window):
                     noise_vpn = noise_base + rng.randrange(
                         8 * config.sets
                     )
-                    tlb.translate(noise_vpn, noise_asid, walker)
+                    memory.translate(noise_vpn, noise_asid)
                 pending_probe = True
             else:
-                tlb.translate(vpn, VICTIM_ASID, walker)
+                memory.translate(vpn, VICTIM_ASID)
         if pending_probe:
-            recovered.append("1" if attacker.probe() else "0")
+            recovered.append("1" if attacker.probe().evicted else "0")
         if votes is None:
             votes = [0] * len(recovered)
         for index, bit in enumerate(recovered):
@@ -285,10 +287,11 @@ def itlb_attack(
     # the rp/xp/tp accesses.
     dtlb = make_tlb(TLBKind.SA, config)
     walker = PageTableWalker(auto_map=True)
+    imem = MemorySystem(itlb, walker)
+    dmem = MemorySystem(dtlb, walker)
 
     attacker = PrimeProbeAttacker(
-        itlb,
-        walker,
+        imem,
         monitored_set=code.multiply_vpn % config.sets,
         nsets=config.sets,
         ways=config.ways,
@@ -308,15 +311,15 @@ def itlb_attack(
     for event, _arg1, vpn in victim.run():
         if event == "bit":
             if pending_probe:
-                recovered.append("1" if attacker.probe() else "0")
+                recovered.append("1" if attacker.probe().evicted else "0")
             attacker.prime()
             pending_probe = True
         elif vpn in code_pages:
-            itlb.translate(vpn, VICTIM_ASID, walker)
+            imem.translate(vpn, VICTIM_ASID)
         else:
-            dtlb.translate(vpn, VICTIM_ASID, walker)
+            dmem.translate(vpn, VICTIM_ASID)
     if pending_probe:
-        recovered.append("1" if attacker.probe() else "0")
+        recovered.append("1" if attacker.probe().evicted else "0")
     assert victim.result == pow(ciphertext, key.d, key.n)
     return AttackResult(
         true_bits=format(key.d, "b"),

@@ -21,6 +21,9 @@ from typing import Dict, List, Optional
 
 from repro.mmu import PageTableWalker
 from repro.security.kinds import TLBKind, make_tlb
+from repro.sim.events import EventBus
+from repro.sim.probe import SetProber
+from repro.sim.system import MemorySystem
 from repro.tlb import RandomFillTLB, TLBConfig
 
 VICTIM_ASID = 1
@@ -61,6 +64,7 @@ def profile_secret_set(
     rounds: int = 15,
     config: TLBConfig = TLBConfig(entries=32, ways=8),
     seed: int = 0,
+    bus: Optional[EventBus] = None,
 ) -> ProfilingResult:
     """Run ``rounds`` of all-set Prime + Probe around one victim access."""
     if not region_base <= secret_vpn < region_base + region_pages:
@@ -75,29 +79,24 @@ def profile_secret_set(
     )
     if isinstance(tlb, RandomFillTLB):
         tlb.set_secure_region(region_base, region_pages, victim_asid=VICTIM_ASID)
-    walker = PageTableWalker(auto_map=True)
-    probe_base = PROBE_BASE - (PROBE_BASE % nsets)
-    probe_pages = {
-        set_index: [
-            probe_base + set_index + i * nsets for i in range(config.ways)
-        ]
+    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
+    probers = {
+        set_index: SetProber.for_set(
+            memory, PROBE_BASE, set_index, ATTACKER_ASID, nsets, config.ways
+        )
         for set_index in range(nsets)
     }
 
     winners: List[Optional[int]] = []
     for _round in range(rounds):
-        tlb.flush_all()
-        for pages in probe_pages.values():
-            for vpn in pages:
-                tlb.translate(vpn, ATTACKER_ASID, walker)
-        tlb.translate(secret_vpn, VICTIM_ASID, walker)  # the V_u access
-        misses_per_set = {}
-        for set_index, pages in probe_pages.items():
-            misses_per_set[set_index] = sum(
-                1
-                for vpn in pages
-                if tlb.translate(vpn, ATTACKER_ASID, walker).miss
-            )
+        memory.flush_all()
+        for prober in probers.values():
+            prober.prime()
+        memory.translate(secret_vpn, VICTIM_ASID)  # the V_u access
+        misses_per_set = {
+            set_index: prober.probe().misses
+            for set_index, prober in probers.items()
+        }
         best = max(misses_per_set.values())
         if best == 0:
             winners.append(None)

@@ -14,6 +14,7 @@
 ``sweeps``     the SP-partition / RF-region / replacement-policy sweeps
 ``attack``     the TLBleed-style RSA key recovery demo
 ``covert``     the covert-channel demo
+``trace``      a toy scenario with the JSONL event tracer attached
 ``run-all``    every experiment, sharded across workers with caching
 =============  =============================================================
 
@@ -225,6 +226,32 @@ def _cmd_covert(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.security import TLBKind
+    from repro.sim import run_scenario
+
+    report = run_scenario(
+        args.scenario,
+        target=args.out,
+        kind=TLBKind[args.design],
+        seed=args.seed,
+    )
+    destination = args.out if args.out is not None else "stdout"
+    print(
+        f"{report.events} events -> {destination}", file=sys.stderr
+    )
+    print(f"{report.outcome}", file=sys.stderr)
+    stats = report.stats
+    print(
+        f"accesses {stats.accesses} ({stats.hit_rate:.0%} hits)"
+        f" · walks {stats.walks} · fills {stats.fills}"
+        f" · evictions {stats.evictions} · flushes {stats.flushes}"
+        f" · switches {stats.context_switches}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_run_all(args: argparse.Namespace) -> int:
     from repro.runner import run_all
 
@@ -329,6 +356,30 @@ def build_parser() -> argparse.ArgumentParser:
     covert.add_argument("--seed", type=int, default=1)
     _add_design_argument(covert)
     covert.set_defaults(func=_cmd_covert)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a toy scenario with the event tracer attached",
+        description=(
+            "Run a small-parameter scenario through the repro.sim core with"
+            " a JSONL event tracer subscribed to the memory-system bus;"
+            " every TLB access/walk/fill/evict/flush/context-switch becomes"
+            " one JSON record."
+        ),
+    )
+    from repro.sim.trace import SCENARIOS
+
+    trace.add_argument("scenario", choices=sorted(SCENARIOS))
+    trace.add_argument(
+        "--design", choices=["SA", "SP", "RF"], default="SA",
+        help="TLB design under trace (default: SA)",
+    )
+    trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="JSONL output path (default: stdout)",
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.set_defaults(func=_cmd_trace)
 
     run_all = subparsers.add_parser(
         "run-all",

@@ -22,6 +22,9 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.mmu.os_model import SwitchPolicy
+from repro.sim.events import EventBus
+from repro.sim.system import MemorySystem
 from repro.tlb.base import BaseTLB, Translator
 
 from .assembler import Program
@@ -83,23 +86,36 @@ class CPU:
 
     def __init__(
         self,
-        tlb: BaseTLB,
-        translator: Translator,
+        tlb: Optional[BaseTLB] = None,
+        translator: Optional[Translator] = None,
         memory: Optional[Memory] = None,
         flush_tlb_on_pid_switch: bool = False,
         enforce_permissions: bool = False,
+        memory_system: Optional[MemorySystem] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
-        self.tlb = tlb
-        self.translator = translator
+        if memory_system is None:
+            if tlb is None or translator is None:
+                raise ValueError(
+                    "pass either a memory_system or a tlb + translator"
+                )
+            #: Emulates the Sanctum / Intel SGX software mitigation of
+            #: Section 2.3: the TLB is fully flushed whenever execution
+            #: switches between processes.
+            policy = (
+                SwitchPolicy.FLUSH_ALL
+                if flush_tlb_on_pid_switch
+                else SwitchPolicy.KEEP
+            )
+            memory_system = MemorySystem(
+                tlb, translator, switch_policy=policy, bus=bus
+            )
+        self.mem = memory_system
         self.memory = memory or Memory()
         #: Check PTE permissions on every access (after the TLB fill, as
         #: hardware does -- see :class:`ProtectionFault`).  Off by default:
         #: the micro benchmarks map everything user-accessible.
         self.enforce_permissions = enforce_permissions
-        #: Emulates the Sanctum / Intel SGX software mitigation of
-        #: Section 2.3: the TLB is fully flushed whenever execution switches
-        #: between processes.
-        self.flush_tlb_on_pid_switch = flush_tlb_on_pid_switch
         self.registers: List[int] = [0] * 32
         self.pc = 0
         self.cycles = 0
@@ -110,18 +126,20 @@ class CPU:
         self.csr.bind_counter("tlb_miss_count", lambda: self.tlb.stats.misses)
         self.csr.on_write("sbase", lambda _v: self._sync_secure_region())
         self.csr.on_write("ssize", lambda _v: self._sync_secure_region())
-        self._last_pid: Optional[int] = None
-        self.csr.on_write("process_id", self._on_pid_switch)
+        self.csr.on_write("process_id", self.mem.context_switch)
         self._program: Optional[Program] = None
 
-    def _on_pid_switch(self, value: int) -> None:
-        if (
-            self.flush_tlb_on_pid_switch
-            and self._last_pid is not None
-            and value != self._last_pid
-        ):
-            self.tlb.flush_all()
-        self._last_pid = value
+    @property
+    def tlb(self) -> BaseTLB:
+        return self.mem.tlb
+
+    @property
+    def translator(self) -> Translator:
+        return self.mem.walker
+
+    @property
+    def flush_tlb_on_pid_switch(self) -> bool:
+        return self.mem.switch_policy is SwitchPolicy.FLUSH_ALL
 
     # -- program setup -----------------------------------------------------------
 
@@ -276,7 +294,7 @@ class CPU:
         vpn = vaddr >> PAGE_BITS
         # The translation is performed -- and cached by the TLB -- before
         # the permission check, as in hardware.
-        result = self.tlb.translate(vpn, self.asid, self.translator)
+        result = self.mem.translate(vpn, self.asid)
         if self.enforce_permissions and hasattr(self.translator, "allows"):
             from repro.mmu import Permission
 
@@ -292,7 +310,7 @@ class CPU:
 
     def _sfence(self, instruction: Instruction) -> int:
         if instruction.rs1 is None:
-            self.tlb.flush_all()
+            self.mem.flush_all()
             return 1
         vpn = self.registers[instruction.rs1] >> PAGE_BITS
         asid = (
@@ -300,5 +318,5 @@ class CPU:
             if instruction.rs2 is not None
             else self.asid
         )
-        result = self.tlb.invalidate_page(vpn, asid)
+        result = self.mem.invalidate_page(vpn, asid)
         return result.cycles

@@ -17,11 +17,12 @@ report IPC and MPKI.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.mmu import PageTableWalker, SwitchPolicy
 from repro.security.kinds import TLBKind, make_tlb
+from repro.sim.events import EventBus
 from repro.tlb import RandomFillTLB
 from repro.workloads.rsa import RSAKey, RSAWorkload, generate_key
 from repro.workloads.spec import SPEC_BENCHMARKS, SpecProfile, by_name
@@ -114,6 +115,7 @@ def run_cell(
     rsa_runs: int = 50,
     settings: PerfSettings = PerfSettings(),
     key: Optional[RSAKey] = None,
+    bus: Optional["EventBus"] = None,
 ) -> Figure7Cell:
     """Run one Figure 7 measurement."""
     key = key or generate_key(bits=settings.key_bits, seed=settings.key_seed)
@@ -148,6 +150,7 @@ def run_cell(
         quantum=settings.quantum,
         switch_policy=settings.switch_policy,
         seed=settings.seed,
+        bus=bus,
     )
     return Figure7Cell(
         kind=kind,

@@ -6,15 +6,20 @@ every memory access.  Multiprogrammed scenarios interleave the processes
 round-robin with an instruction quantum, applying the OS's context-switch
 TLB policy, exactly like the paper's Linux runs where RSA decrypts
 continuously while a SPEC benchmark runs in the background.
+
+All translations and the switch-policy flushing go through one shared
+:class:`repro.sim.MemorySystem`; pass a ``bus`` to observe the run.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Optional, Sequence, Tuple
 
 from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.sim.events import EventBus
+from repro.sim.system import MemorySystem
 from repro.tlb.base import BaseTLB
 from repro.workloads.trace import Workload
 
@@ -28,6 +33,9 @@ class PerfResult:
     cycles: int = 0
     memory_accesses: int = 0
     misses: int = 0
+    #: Context switches charged to this result.  Zero for per-process
+    #: results; the ``"total"`` aggregate reports the run's switch count.
+    switches: int = 0
 
     @property
     def ipc(self) -> float:
@@ -46,6 +54,7 @@ class PerfResult:
         self.cycles += other.cycles
         self.memory_accesses += other.memory_accesses
         self.misses += other.misses
+        self.switches += other.switches
 
 
 @dataclass(frozen=True)
@@ -65,55 +74,52 @@ def simulate(
     quantum: int = 10_000,
     switch_policy: SwitchPolicy = SwitchPolicy.KEEP,
     seed: int = 0,
+    bus: Optional[EventBus] = None,
 ) -> Dict[str, PerfResult]:
     """Run the processes to completion, returning per-process results plus
-    a ``"total"`` aggregate."""
+    a ``"total"`` aggregate (which also reports the context-switch count)."""
     if not processes:
         raise ValueError("need at least one process")
     if quantum <= 0:
         raise ValueError("quantum must be positive")
-    walker = walker or PageTableWalker(auto_map=True)
+    memory = MemorySystem(
+        tlb,
+        walker or PageTableWalker(auto_map=True),
+        switch_policy=switch_policy,
+        bus=bus,
+    )
 
     runners = [
-        _Runner(process, tlb, walker, random.Random(seed * 1000003 + index))
+        _Runner(process, memory, random.Random(seed * 1000003 + index))
         for index, process in enumerate(processes)
     ]
-    switches = 0
-    current = None
     while any(not runner.done for runner in runners):
         for runner in runners:
             if runner.done:
                 continue
-            if current is not runner and current is not None:
-                if switch_policy is SwitchPolicy.FLUSH_ALL:
-                    tlb.flush_all()
-                elif switch_policy is SwitchPolicy.FLUSH_OUTGOING:
-                    tlb.flush_asid(current.process.asid)
-                switches += 1
-            current = runner
+            memory.context_switch(runner.process.asid)
             runner.run_quantum(quantum)
 
     results = {runner.process.workload.name: runner.result for runner in runners}
     total = PerfResult(name="total")
     for runner in runners:
         total.absorb(runner.result)
+    total.switches = memory.switches
     results["total"] = total
     return results
 
 
 class _Runner:
-    """Drives one process's trace against the shared TLB."""
+    """Drives one process's trace against the shared memory system."""
 
     def __init__(
         self,
         process: ScheduledProcess,
-        tlb: BaseTLB,
-        walker: PageTableWalker,
+        memory: MemorySystem,
         rng: random.Random,
     ) -> None:
         self.process = process
-        self._tlb = tlb
-        self._walker = walker
+        self._memory = memory
         self._events: Iterator = process.workload.events(rng)
         self._pending: Optional[Tuple[int, int]] = None
         self.result = PerfResult(name=process.workload.name)
@@ -141,7 +147,7 @@ class _Runner:
             elif cost_instructions > budget:
                 self._pending = event
                 return
-            access = self._tlb.translate(vpn, self.process.asid, self._walker)
+            access = self._memory.translate(vpn, self.process.asid)
             result.instructions += cost_instructions
             result.cycles += gap + access.cycles
             result.memory_accesses += 1

@@ -17,37 +17,39 @@ updates so a multi-hundred-cell run stays readable in CI logs.
 
 from __future__ import annotations
 
-import json
 import sys
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, IO, List, Optional
 
+from repro.sim.observers import JsonlWriter
+
 
 class RunLog:
-    """Append-only JSONL event log (no-op when constructed with ``None``)."""
+    """Append-only JSONL event log (no-op when constructed with ``None``).
+
+    Serialization is delegated to :class:`repro.sim.JsonlWriter`, the same
+    writer behind the event tracer, so both logs share one JSONL dialect.
+    """
 
     def __init__(self, path: Optional[Path | str]) -> None:
         self.path = Path(path) if path is not None else None
-        self._handle: Optional[IO[str]] = None
+        self._writer: Optional[JsonlWriter] = None
         if self.path is not None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("w")
+            self._writer = JsonlWriter(self.path)
 
     def emit(self, event: str, **fields: Any) -> None:
-        if self._handle is None:
+        if self._writer is None:
             return
         record: Dict[str, Any] = {"event": event, "time": time.time()}
         record.update(fields)
-        self._handle.write(json.dumps(record, sort_keys=False, default=str))
-        self._handle.write("\n")
-        self._handle.flush()
+        self._writer.write(record)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
 
 
 @dataclass

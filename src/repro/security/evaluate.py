@@ -21,7 +21,9 @@ from repro.isa import CPU, ExecutionStatus, Program, assemble
 from repro.model.capacity import ChannelEstimate
 from repro.model.patterns import Vulnerability
 from repro.model.table2 import table2_vulnerabilities
-from repro.mmu import PageTableWalker
+from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.sim.events import EventBus
+from repro.sim.system import MemorySystem
 from repro.tlb import TLBConfig
 
 from .benchgen import BenchmarkLayout, generate, layout_for_partitioned_tlb
@@ -108,7 +110,13 @@ class SecurityEvaluator:
 
     # -- single trials ------------------------------------------------------------
 
-    def run_trial(self, program: Program, kind: TLBKind, rng: random.Random) -> bool:
+    def run_trial(
+        self,
+        program: Program,
+        kind: TLBKind,
+        rng: random.Random,
+        bus: Optional[EventBus] = None,
+    ) -> bool:
         """Run one benchmark once on a fresh CPU; True iff Step 3 missed."""
         tlb = make_tlb(
             kind,
@@ -125,11 +133,17 @@ class SecurityEvaluator:
             walker = self.config.walker_factory()
         else:
             walker = PageTableWalker(auto_map=True)
-        cpu = CPU(
-            tlb=tlb,
-            translator=walker,
-            flush_tlb_on_pid_switch=self.config.flush_on_switch,
+        memory = MemorySystem(
+            tlb,
+            walker,
+            switch_policy=(
+                SwitchPolicy.FLUSH_ALL
+                if self.config.flush_on_switch
+                else SwitchPolicy.KEEP
+            ),
+            bus=bus,
         )
+        cpu = CPU(memory_system=memory)
         cpu.load(program)
         result = cpu.run()
         if result.status is ExecutionStatus.HALTED:  # pragma: no cover

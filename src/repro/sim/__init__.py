@@ -1,0 +1,56 @@
+"""The shared simulation core: one translation path for every experiment.
+
+The paper's Section 4 flow charts describe a single state machine -- a TLB
+driven by translate / flush / context-switch events -- yet a reproduction
+naturally grows one hand-rolled drive loop per experiment (the CPU, the
+trace-driven timing model, each end-to-end attack, the security harness).
+:mod:`repro.sim` extracts that state machine once:
+
+* :class:`MemorySystem` -- the facade owning the TLB (or hierarchy), the
+  page-table walker, the context-switch policy and cycle accounting.  Every
+  drive loop in the repository performs its translations through it.
+* :class:`EventBus` -- a typed publish/subscribe bus carrying the six
+  architectural events (``access``, ``fill``, ``evict``, ``flush``,
+  ``walk``, ``context_switch``) out of the translation path.
+* Observers -- :class:`TraceObserver` dumps the event stream as JSONL
+  (``python -m repro trace <scenario>``); :class:`StatsObserver` keeps
+  cheap aggregate counters without touching the hot path when detached.
+* :class:`SetProber` -- the shared prime / probe-and-classify helper the
+  attack modules previously re-implemented individually.
+
+See ``docs/architecture.md`` for the observer API and event schema.
+"""
+
+from .events import (
+    AccessEvent,
+    ContextSwitchEvent,
+    EventBus,
+    EvictEvent,
+    FillEvent,
+    FlushEvent,
+    WalkEvent,
+)
+from .observers import JsonlWriter, StatsObserver, TraceObserver
+from .probe import ProbeOutcome, SetProber, pages_for_set
+from .system import MemorySystem
+from .trace import SCENARIOS, TraceReport, run_scenario
+
+__all__ = [
+    "SCENARIOS",
+    "TraceReport",
+    "AccessEvent",
+    "ContextSwitchEvent",
+    "EventBus",
+    "EvictEvent",
+    "FillEvent",
+    "FlushEvent",
+    "JsonlWriter",
+    "MemorySystem",
+    "ProbeOutcome",
+    "SetProber",
+    "StatsObserver",
+    "TraceObserver",
+    "WalkEvent",
+    "pages_for_set",
+    "run_scenario",
+]

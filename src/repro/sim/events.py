@@ -1,0 +1,170 @@
+"""Typed events and the publish/subscribe bus of the simulation core.
+
+Each event is an immutable record of one architecturally visible action at
+the :class:`repro.sim.MemorySystem` boundary.  The six event types mirror
+the paper's Section 4 flow-chart inputs:
+
+=====================  =====================================================
+``AccessEvent``        one translation request (hit or miss)
+``WalkEvent``          the page-table walk a miss triggered
+``FillEvent``          the requested translation was installed in the TLB
+``EvictEvent``         a valid entry was displaced by that fill
+``FlushEvent``         a maintenance operation (full / per-ASID / per-page)
+``ContextSwitchEvent`` the running address space changed
+=====================  =====================================================
+
+Design-internal actions that are *not* architecturally visible through the
+facade -- e.g. the Random-Fill TLB's random fills of Section 4.2 -- are by
+construction absent from the stream (that opacity is the defence); they
+remain countable via ``tlb.stats``.
+
+The bus dispatches on the event's concrete type.  When nothing is
+subscribed, ``EventBus.active`` is False and the :class:`MemorySystem`
+skips event construction entirely, keeping the hot translation path free
+of observability overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Type
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One translation request and its outcome."""
+
+    vpn: int
+    asid: int
+    hit: bool
+    ppn: int
+    cycles: int
+    #: Whether the requested translation was installed (the RF TLB returns
+    #: secure translations through its no-fill buffer without filling).
+    filled: bool
+
+
+@dataclass(frozen=True)
+class WalkEvent:
+    """The page-table walk performed on a miss."""
+
+    vpn: int
+    asid: int
+    cycles: int
+
+
+@dataclass(frozen=True)
+class FillEvent:
+    """The requested translation was installed in the TLB."""
+
+    vpn: int
+    asid: int
+
+
+@dataclass(frozen=True)
+class EvictEvent:
+    """A valid entry was displaced by a fill."""
+
+    vpn: int
+    asid: int
+    level: int
+
+
+@dataclass(frozen=True)
+class FlushEvent:
+    """A TLB maintenance operation.
+
+    ``scope`` is ``"all"``, ``"asid"`` or ``"page"``; ``present`` reports,
+    for per-page invalidations, whether the entry was resident (the
+    Appendix B presence-dependent timing observable).
+    """
+
+    scope: str
+    asid: int | None = None
+    vpn: int | None = None
+    present: bool | None = None
+
+
+@dataclass(frozen=True)
+class ContextSwitchEvent:
+    """The running address space changed."""
+
+    previous: int
+    asid: int
+    policy: str
+    flushed: bool
+
+
+Handler = Callable[[object], None]
+
+
+class EventBus:
+    """A minimal typed publish/subscribe bus.
+
+    Subscribe with the typed sugar (``bus.on_access(fn)`` ...) or the
+    generic :meth:`subscribe`.  Handlers run synchronously, in subscription
+    order, on the emitting thread.
+    """
+
+    __slots__ = ("_handlers", "active")
+
+    def __init__(self) -> None:
+        self._handlers: Dict[Type, List[Handler]] = {}
+        #: True iff at least one handler is subscribed; the MemorySystem
+        #: checks this before constructing any event object.
+        self.active = False
+
+    def subscribe(self, event_type: Type, handler: Handler) -> Handler:
+        self._handlers.setdefault(event_type, []).append(handler)
+        self.active = True
+        return handler
+
+    def unsubscribe(self, event_type: Type, handler: Handler) -> None:
+        handlers = self._handlers.get(event_type, [])
+        if handler in handlers:
+            handlers.remove(handler)
+        self.active = any(self._handlers.values())
+
+    def emit(self, event: object) -> None:
+        for handler in self._handlers.get(type(event), ()):
+            handler(event)
+
+    # -- typed subscription sugar -------------------------------------------------
+
+    def on_access(self, handler: Handler) -> Handler:
+        return self.subscribe(AccessEvent, handler)
+
+    def on_walk(self, handler: Handler) -> Handler:
+        return self.subscribe(WalkEvent, handler)
+
+    def on_fill(self, handler: Handler) -> Handler:
+        return self.subscribe(FillEvent, handler)
+
+    def on_evict(self, handler: Handler) -> Handler:
+        return self.subscribe(EvictEvent, handler)
+
+    def on_flush(self, handler: Handler) -> Handler:
+        return self.subscribe(FlushEvent, handler)
+
+    def on_context_switch(self, handler: Handler) -> Handler:
+        return self.subscribe(ContextSwitchEvent, handler)
+
+
+EVENT_TYPES = (
+    AccessEvent,
+    WalkEvent,
+    FillEvent,
+    EvictEvent,
+    FlushEvent,
+    ContextSwitchEvent,
+)
+
+#: JSONL ``event`` field value for each event class.
+EVENT_NAMES = {
+    AccessEvent: "access",
+    WalkEvent: "walk",
+    FillEvent: "fill",
+    EvictEvent: "evict",
+    FlushEvent: "flush",
+    ContextSwitchEvent: "context_switch",
+}

@@ -1,0 +1,92 @@
+"""The shared prime / probe-and-classify helper.
+
+Every Prime + Probe style experiment performs the same two moves: fill one
+TLB set with attacker-owned pages, then re-access them and classify each
+access's latency as hit or miss to count evictions.  The attack modules
+(`prime_probe`, `covert_channel`, `set_profiling`) used to re-implement
+this loop individually; :class:`SetProber` implements it once on top of
+:class:`repro.sim.MemorySystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .system import MemorySystem
+
+
+def pages_for_set(
+    base: int, set_index: int, nsets: int, ways: int
+) -> List[int]:
+    """``ways`` distinct pages mapping to one TLB set, starting near ``base``.
+
+    The first page is the smallest page >= the aligned base with the given
+    set index; consecutive pages step by ``nsets`` so each lands in the
+    same set.
+    """
+    aligned = base - (base % nsets) + set_index
+    return [aligned + i * nsets for i in range(ways)]
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """One probe pass: per-page latencies classified into hits and misses."""
+
+    pages: int
+    misses: int
+    cycles: int
+
+    @property
+    def hits(self) -> int:
+        return self.pages - self.misses
+
+    @property
+    def evicted(self) -> bool:
+        """The Prime + Probe verdict: did anything displace our pages?"""
+        return self.misses > 0
+
+
+class SetProber:
+    """Prime + Probe one TLB set through the shared memory system."""
+
+    def __init__(
+        self, memory: MemorySystem, pages: Sequence[int], asid: int
+    ) -> None:
+        self.memory = memory
+        self.pages = list(pages)
+        self.asid = asid
+
+    @classmethod
+    def for_set(
+        cls,
+        memory: MemorySystem,
+        base: int,
+        set_index: int,
+        asid: int,
+        nsets: int | None = None,
+        ways: int | None = None,
+    ) -> "SetProber":
+        """A prober whose pages cover one set of ``memory``'s TLB."""
+        config = memory.tlb.config
+        nsets = nsets if nsets is not None else config.sets
+        ways = ways if ways is not None else config.ways
+        return cls(memory, pages_for_set(base, set_index, nsets, ways), asid)
+
+    def prime(self) -> int:
+        """Fill the monitored set with our pages; return the cycles spent."""
+        cycles = 0
+        for vpn in self.pages:
+            cycles += self.memory.translate(vpn, self.asid).cycles
+        return cycles
+
+    def probe(self) -> ProbeOutcome:
+        """Re-access the priming pages, classifying each latency."""
+        misses = 0
+        cycles = 0
+        for vpn in self.pages:
+            result = self.memory.translate(vpn, self.asid)
+            cycles += result.cycles
+            if result.miss:
+                misses += 1
+        return ProbeOutcome(pages=len(self.pages), misses=misses, cycles=cycles)

@@ -1,0 +1,194 @@
+"""The :class:`MemorySystem` facade: the one translation path.
+
+Owns the TLB (any :class:`repro.tlb.BaseTLB`-compatible object, including
+:class:`repro.tlb.TwoLevelTLB`), the page-table walker, the context-switch
+TLB policy and the cycle accounting, and publishes every architecturally
+visible action on its :class:`repro.sim.EventBus`.
+
+Every drive loop in the repository -- the ISA CPU, the trace-driven timing
+model, the end-to-end attacks and the security evaluation harness --
+performs its translations through this facade rather than calling
+``tlb.translate`` directly, so observers (tracing, aggregate statistics)
+see every experiment through the same seam.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mmu import SwitchPolicy
+from repro.tlb.base import AccessResult, Translator
+
+from .events import (
+    AccessEvent,
+    ContextSwitchEvent,
+    EventBus,
+    EvictEvent,
+    FillEvent,
+    FlushEvent,
+    WalkEvent,
+)
+
+
+class MemorySystem:
+    """TLB + walker + switch policy + cycle accounting behind one facade."""
+
+    def __init__(
+        self,
+        tlb,
+        walker: Optional[Translator] = None,
+        switch_policy: SwitchPolicy = SwitchPolicy.KEEP,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        if walker is None:
+            from repro.mmu import PageTableWalker
+
+            walker = PageTableWalker(auto_map=True)
+        self.tlb = tlb
+        self.walker = walker
+        self.switch_policy = switch_policy
+        self.bus = bus if bus is not None else EventBus()
+        #: The currently running address space (None before the first
+        #: :meth:`context_switch`).
+        self.current_asid: Optional[int] = None
+        #: Context switches between *distinct* address spaces.
+        self.switches = 0
+        #: Cycles spent in translations and targeted invalidations.
+        self.cycles = 0
+        self.accesses = 0
+
+    # -- translation --------------------------------------------------------------
+
+    def translate(self, vpn: int, asid: int) -> AccessResult:
+        """Translate one page access through the TLB, publishing events."""
+        result = self.tlb.translate(vpn, asid, self.walker)
+        self.accesses += 1
+        self.cycles += result.cycles
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                AccessEvent(
+                    vpn=vpn,
+                    asid=asid,
+                    hit=result.hit,
+                    ppn=result.ppn,
+                    cycles=result.cycles,
+                    filled=result.filled,
+                )
+            )
+            if not result.hit:
+                hit_latency = self.tlb.config.hit_latency
+                bus.emit(
+                    WalkEvent(
+                        vpn=vpn,
+                        asid=asid,
+                        cycles=max(result.cycles - hit_latency, 0),
+                    )
+                )
+                if result.filled:
+                    bus.emit(FillEvent(vpn=vpn, asid=asid))
+            if result.evicted is not None:
+                evicted = result.evicted
+                bus.emit(
+                    EvictEvent(
+                        vpn=evicted.vpn, asid=evicted.asid, level=evicted.level
+                    )
+                )
+        return result
+
+    # -- context switching --------------------------------------------------------
+
+    def context_switch(self, asid: int) -> bool:
+        """Make ``asid`` the running address space.
+
+        Applies the configured :class:`repro.mmu.SwitchPolicy` when the
+        address space actually changes (the first call only latches the
+        initial ASID).  Returns True iff a switch occurred.
+        """
+        previous = self.current_asid
+        if previous is None or previous == asid:
+            self.current_asid = asid
+            return False
+        flushed = False
+        if self.switch_policy is SwitchPolicy.FLUSH_ALL:
+            self.tlb.flush_all()
+            flushed = True
+        elif self.switch_policy is SwitchPolicy.FLUSH_OUTGOING:
+            self.tlb.flush_asid(previous)
+            flushed = True
+        self.current_asid = asid
+        self.switches += 1
+        bus = self.bus
+        if bus.active:
+            bus.emit(
+                ContextSwitchEvent(
+                    previous=previous,
+                    asid=asid,
+                    policy=self.switch_policy.value,
+                    flushed=flushed,
+                )
+            )
+            if flushed:
+                scope = (
+                    "all"
+                    if self.switch_policy is SwitchPolicy.FLUSH_ALL
+                    else "asid"
+                )
+                bus.emit(
+                    FlushEvent(
+                        scope=scope,
+                        asid=(
+                            previous
+                            if self.switch_policy is SwitchPolicy.FLUSH_OUTGOING
+                            else None
+                        ),
+                    )
+                )
+        return True
+
+    # -- maintenance --------------------------------------------------------------
+
+    def flush_all(self) -> None:
+        """Full flush (``sfence.vma`` with no operands)."""
+        self.tlb.flush_all()
+        if self.bus.active:
+            self.bus.emit(FlushEvent(scope="all"))
+
+    def flush_asid(self, asid: int) -> None:
+        """Flush one process's entries."""
+        self.tlb.flush_asid(asid)
+        if self.bus.active:
+            self.bus.emit(FlushEvent(scope="asid", asid=asid))
+
+    def invalidate_page(self, vpn: int, asid: int) -> AccessResult:
+        """Targeted invalidation with Appendix B presence-dependent timing."""
+        result = self.tlb.invalidate_page(vpn, asid)
+        self.cycles += result.cycles
+        if self.bus.active:
+            self.bus.emit(
+                FlushEvent(scope="page", asid=asid, vpn=vpn, present=result.hit)
+            )
+        return result
+
+    # -- pass-throughs ------------------------------------------------------------
+
+    def set_secure_region(
+        self, sbase: int, ssize: int, victim_asid: Optional[int] = None
+    ) -> None:
+        """Program an RF TLB's region registers, if the design has them."""
+        if hasattr(self.tlb, "set_secure_region"):
+            self.tlb.set_secure_region(sbase, ssize, victim_asid=victim_asid)
+
+    def resident(self, vpn: int, asid: int) -> bool:
+        return self.tlb.resident(vpn, asid)
+
+    @property
+    def stats(self):
+        """The underlying TLB's counters."""
+        return self.tlb.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MemorySystem tlb={self.tlb!r} policy={self.switch_policy.value}"
+            f" accesses={self.accesses} switches={self.switches}>"
+        )

@@ -1,0 +1,82 @@
+"""The event bus: dispatch, activation, and the typed sugar."""
+
+from __future__ import annotations
+
+from repro.sim.events import (
+    AccessEvent,
+    ContextSwitchEvent,
+    EVENT_NAMES,
+    EVENT_TYPES,
+    EventBus,
+    EvictEvent,
+    FillEvent,
+    FlushEvent,
+    WalkEvent,
+)
+
+
+def access(vpn: int = 1) -> AccessEvent:
+    return AccessEvent(vpn=vpn, asid=1, hit=True, ppn=vpn, cycles=1, filled=False)
+
+
+def test_bus_starts_inactive() -> None:
+    bus = EventBus()
+    assert not bus.active
+    bus.emit(access())  # No subscribers: a silent no-op.
+
+
+def test_subscribe_activates_and_dispatches_by_type() -> None:
+    bus = EventBus()
+    seen = []
+    bus.subscribe(AccessEvent, seen.append)
+    assert bus.active
+    event = access()
+    bus.emit(event)
+    bus.emit(FillEvent(vpn=2, asid=1))  # Different type: not delivered.
+    assert seen == [event]
+
+
+def test_unsubscribe_deactivates_when_last_handler_leaves() -> None:
+    bus = EventBus()
+    handler = bus.on_access(lambda event: None)
+    other = bus.on_fill(lambda event: None)
+    bus.unsubscribe(AccessEvent, handler)
+    assert bus.active  # on_fill still subscribed.
+    bus.unsubscribe(FillEvent, other)
+    assert not bus.active
+
+
+def test_handlers_run_in_subscription_order() -> None:
+    bus = EventBus()
+    order = []
+    bus.on_access(lambda event: order.append("first"))
+    bus.on_access(lambda event: order.append("second"))
+    bus.emit(access())
+    assert order == ["first", "second"]
+
+
+def test_typed_sugar_covers_every_event_type() -> None:
+    bus = EventBus()
+    seen = []
+    bus.on_access(seen.append)
+    bus.on_walk(seen.append)
+    bus.on_fill(seen.append)
+    bus.on_evict(seen.append)
+    bus.on_flush(seen.append)
+    bus.on_context_switch(seen.append)
+    events = [
+        access(),
+        WalkEvent(vpn=1, asid=1, cycles=30),
+        FillEvent(vpn=1, asid=1),
+        EvictEvent(vpn=2, asid=1, level=0),
+        FlushEvent(scope="all"),
+        ContextSwitchEvent(previous=1, asid=2, policy="keep", flushed=False),
+    ]
+    for event in events:
+        bus.emit(event)
+    assert seen == events
+
+
+def test_event_names_cover_all_types() -> None:
+    assert set(EVENT_NAMES) == set(EVENT_TYPES)
+    assert len(set(EVENT_NAMES.values())) == len(EVENT_TYPES)

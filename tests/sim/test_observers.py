@@ -1,0 +1,106 @@
+"""Trace and stats observers, and the shared JSONL writer."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.sim import (
+    EventBus,
+    JsonlWriter,
+    MemorySystem,
+    StatsObserver,
+    TraceObserver,
+)
+from repro.tlb import SetAssociativeTLB, TLBConfig
+
+
+def build(bus: EventBus, policy=SwitchPolicy.FLUSH_ALL) -> MemorySystem:
+    tlb = SetAssociativeTLB(TLBConfig(entries=8, ways=2))
+    return MemorySystem(
+        tlb, PageTableWalker(auto_map=True), switch_policy=policy, bus=bus
+    )
+
+
+def drive(memory: MemorySystem) -> None:
+    memory.context_switch(1)
+    memory.translate(0x10, 1)  # miss
+    memory.translate(0x10, 1)  # hit
+    memory.context_switch(2)  # switch + flush
+    memory.translate(0x20, 2)  # miss
+    memory.invalidate_page(0x20, 2)
+
+
+def test_trace_observer_emits_valid_jsonl(tmp_path) -> None:
+    bus = EventBus()
+    path = tmp_path / "trace.jsonl"
+    with TraceObserver(path) as trace:
+        trace.subscribe(bus)
+        drive(build(bus))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [record["event"] for record in records] == [
+        "access", "walk", "fill",     # first miss
+        "access",                      # hit
+        "context_switch", "flush",     # FLUSH_ALL switch
+        "access", "walk", "fill",      # post-flush miss
+        "flush",                       # targeted invalidation
+    ]
+    assert [record["seq"] for record in records] == list(range(len(records)))
+    first = records[0]
+    assert first["vpn"] == 0x10 and first["hit"] is False
+    assert records[-1]["scope"] == "page" and records[-1]["present"] is True
+
+
+def test_trace_observer_accepts_open_handles() -> None:
+    bus = EventBus()
+    sink = io.StringIO()
+    trace = TraceObserver(sink).subscribe(bus)
+    build(bus).translate(0x10, 1)
+    trace.close()
+    lines = sink.getvalue().splitlines()
+    assert len(lines) == 3
+    assert json.loads(lines[0])["event"] == "access"
+    assert not sink.closed  # Borrowed handles are not closed.
+
+
+def test_stats_observer_aggregates_by_type_and_asid() -> None:
+    bus = EventBus()
+    stats = StatsObserver().subscribe(bus)
+    memory = build(bus)
+    drive(memory)
+    assert stats.accesses == 3
+    assert stats.hits == 1 and stats.misses == 2
+    assert stats.walks == 2 and stats.fills == 2
+    assert stats.flushes == 2  # The switch flush and the invalidation.
+    assert stats.context_switches == 1
+    # Invalidation latency is a flush record, not an access's cycles.
+    invalidation_cycles = memory.tlb.config.hit_latency + 1
+    assert stats.cycles == memory.cycles - invalidation_cycles
+    assert set(stats.by_asid) == {1, 2}
+    assert stats.by_asid[1].accesses == 2 and stats.by_asid[1].hits == 1
+    assert stats.by_asid[2].misses == 1
+    summary = stats.summary()
+    assert summary["accesses"] == 3 and summary["asids"] == [1, 2]
+
+
+def test_stats_hit_rate() -> None:
+    stats = StatsObserver()
+    assert stats.hit_rate == 0.0
+    bus = EventBus()
+    stats.subscribe(bus)
+    memory = build(bus)
+    memory.translate(0x10, 1)
+    memory.translate(0x10, 1)
+    assert stats.hit_rate == 0.5
+
+
+def test_jsonl_writer_round_trips_and_coerces(tmp_path) -> None:
+    path = tmp_path / "deep" / "log.jsonl"
+    writer = JsonlWriter(path)  # Parent directories are created.
+    writer.write({"event": "x", "value": 1})
+    writer.write({"event": "y", "odd": object()})  # default=str coercion
+    writer.close()
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0]) == {"event": "x", "value": 1}
+    assert json.loads(lines[1])["event"] == "y"

@@ -1,0 +1,72 @@
+"""The shared prime/probe helper the attack modules build on."""
+
+from __future__ import annotations
+
+from repro.mmu import PageTableWalker
+from repro.sim import MemorySystem, SetProber, pages_for_set
+from repro.tlb import SetAssociativeTLB, TLBConfig
+
+ATTACKER = 2
+VICTIM = 1
+
+
+def build(entries: int = 32, ways: int = 8) -> MemorySystem:
+    tlb = SetAssociativeTLB(TLBConfig(entries=entries, ways=ways))
+    return MemorySystem(tlb, PageTableWalker(auto_map=True))
+
+
+def test_pages_for_set_covers_one_set_exactly() -> None:
+    nsets, ways = 4, 8
+    pages = pages_for_set(0x600, 2, nsets, ways)
+    assert len(pages) == ways
+    assert all(vpn % nsets == 2 for vpn in pages)
+    assert len(set(pages)) == ways
+
+
+def test_for_set_defaults_to_the_tlb_geometry() -> None:
+    memory = build()
+    prober = SetProber.for_set(memory, 0x600, 1, ATTACKER)
+    config = memory.tlb.config
+    assert prober.pages == pages_for_set(0x600, 1, config.sets, config.ways)
+
+
+def test_prime_fills_probe_hits_when_undisturbed() -> None:
+    memory = build()
+    prober = SetProber.for_set(memory, 0x600, 0, ATTACKER)
+    prober.prime()
+    outcome = prober.probe()
+    assert outcome.hits and not outcome.evicted
+    assert outcome.misses == 0
+    assert outcome.pages == len(prober.pages)
+
+
+def test_probe_detects_victim_eviction() -> None:
+    memory = build()
+    nsets = memory.tlb.config.sets
+    prober = SetProber.for_set(memory, 0x600, 0, ATTACKER)
+    prober.prime()
+    # The victim touches a page in the monitored set, evicting one way.
+    memory.translate(0x100 - (0x100 % nsets), VICTIM)
+    outcome = prober.probe()
+    assert outcome.evicted
+    # One eviction cascades under LRU: each probe miss refills over the
+    # next page to be probed, so the whole set reads as missed.
+    assert outcome.misses == outcome.pages
+
+
+def test_probe_misses_refill_so_next_round_self_primes() -> None:
+    memory = build()
+    prober = SetProber.for_set(memory, 0x600, 0, ATTACKER)
+    prober.prime()
+    first = prober.probe()
+    second = prober.probe()
+    assert first.misses == 0 and second.misses == 0
+
+
+def test_prime_and_probe_report_cycles() -> None:
+    memory = build()
+    prober = SetProber.for_set(memory, 0x600, 0, ATTACKER)
+    prime_cycles = prober.prime()
+    assert prime_cycles > 0
+    outcome = prober.probe()
+    assert outcome.cycles == len(prober.pages) * memory.tlb.config.hit_latency

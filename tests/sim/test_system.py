@@ -1,0 +1,175 @@
+"""The MemorySystem facade: delegation, accounting, policies, events."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.sim import EventBus, MemorySystem
+from repro.sim.events import (
+    AccessEvent,
+    ContextSwitchEvent,
+    EvictEvent,
+    FillEvent,
+    FlushEvent,
+    WalkEvent,
+)
+from repro.tlb import SetAssociativeTLB, TLBConfig
+
+
+def build(policy: SwitchPolicy = SwitchPolicy.KEEP, bus=None) -> MemorySystem:
+    tlb = SetAssociativeTLB(TLBConfig(entries=8, ways=2))
+    return MemorySystem(
+        tlb, PageTableWalker(auto_map=True), switch_policy=policy, bus=bus
+    )
+
+
+def subscribe_all(bus: EventBus):
+    seen = []
+    for event_type in (
+        AccessEvent, WalkEvent, FillEvent, EvictEvent, FlushEvent,
+        ContextSwitchEvent,
+    ):
+        bus.subscribe(event_type, seen.append)
+    return seen
+
+
+def test_translate_delegates_and_accounts() -> None:
+    memory = build()
+    miss = memory.translate(0x10, 1)
+    hit = memory.translate(0x10, 1)
+    assert miss.miss and hit.hit
+    assert memory.accesses == 2
+    assert memory.cycles == miss.cycles + hit.cycles
+    assert memory.stats.accesses == 2  # The TLB's own counters, unchanged.
+    assert memory.resident(0x10, 1)
+
+
+def test_miss_emits_access_walk_fill_in_order() -> None:
+    bus = EventBus()
+    seen = subscribe_all(bus)
+    memory = build(bus=bus)
+    memory.translate(0x10, 1)
+    assert [type(event) for event in seen] == [
+        AccessEvent, WalkEvent, FillEvent,
+    ]
+    access, walk, _fill = seen
+    assert not access.hit and access.vpn == 0x10
+    hit_latency = memory.tlb.config.hit_latency
+    assert walk.cycles == access.cycles - hit_latency
+
+
+def test_hit_emits_only_access() -> None:
+    bus = EventBus()
+    memory = build(bus=bus)
+    memory.translate(0x10, 1)
+    seen = subscribe_all(bus)
+    memory.translate(0x10, 1)
+    assert [type(event) for event in seen] == [AccessEvent]
+    assert seen[0].hit
+
+
+def test_eviction_emits_evict_event() -> None:
+    bus = EventBus()
+    memory = build(bus=bus)
+    nsets = memory.tlb.config.sets
+    ways = memory.tlb.config.ways
+    pages = [0x100 + i * nsets for i in range(ways + 1)]
+    seen = subscribe_all(bus)
+    for vpn in pages:
+        memory.translate(vpn, 1)
+    evicts = [event for event in seen if isinstance(event, EvictEvent)]
+    assert len(evicts) == 1
+    assert evicts[0].vpn == pages[0]  # LRU: the first page filled.
+
+
+def test_inactive_bus_skips_event_construction() -> None:
+    memory = build()
+    memory.translate(0x10, 1)
+    assert not memory.bus.active  # Nothing subscribed, nothing emitted.
+
+
+def test_first_context_switch_only_latches() -> None:
+    memory = build(SwitchPolicy.FLUSH_ALL)
+    memory.translate(0x10, 1)
+    assert memory.context_switch(1) is False
+    assert memory.switches == 0
+    assert memory.resident(0x10, 1)  # The latch never flushes.
+    assert memory.context_switch(1) is False  # Same ASID: no switch.
+    assert memory.switches == 0
+
+
+@pytest.mark.parametrize(
+    "policy,expect_own,expect_other",
+    [
+        (SwitchPolicy.KEEP, True, True),
+        (SwitchPolicy.FLUSH_ALL, False, False),
+        (SwitchPolicy.FLUSH_OUTGOING, False, True),
+    ],
+)
+def test_switch_policies(policy, expect_own, expect_other) -> None:
+    memory = build(policy)
+    memory.context_switch(1)
+    memory.translate(0x10, 1)  # Outgoing process's entry.
+    memory.translate(0x20, 2)  # Another process's entry.
+    assert memory.context_switch(2) is True
+    assert memory.switches == 1
+    assert memory.resident(0x10, 1) == expect_own
+    assert memory.resident(0x20, 2) == expect_other
+
+
+def test_switch_emits_context_switch_then_flush() -> None:
+    bus = EventBus()
+    memory = build(SwitchPolicy.FLUSH_OUTGOING, bus=bus)
+    memory.context_switch(1)
+    seen = subscribe_all(bus)
+    memory.context_switch(2)
+    assert [type(event) for event in seen] == [ContextSwitchEvent, FlushEvent]
+    switch, flush = seen
+    assert (switch.previous, switch.asid, switch.flushed) == (1, 2, True)
+    assert (flush.scope, flush.asid) == ("asid", 1)
+
+
+def test_flush_helpers_emit_and_delegate() -> None:
+    bus = EventBus()
+    memory = build(bus=bus)
+    memory.translate(0x10, 1)
+    memory.translate(0x20, 2)
+    seen = subscribe_all(bus)
+    memory.flush_asid(1)
+    assert not memory.resident(0x10, 1) and memory.resident(0x20, 2)
+    memory.flush_all()
+    assert not memory.resident(0x20, 2)
+    flushes = [event for event in seen if isinstance(event, FlushEvent)]
+    assert [(f.scope, f.asid) for f in flushes] == [("asid", 1), ("all", None)]
+
+
+def test_invalidate_page_reports_presence_and_costs_cycles() -> None:
+    bus = EventBus()
+    memory = build(bus=bus)
+    memory.translate(0x10, 1)
+    cycles_before = memory.cycles
+    seen = subscribe_all(bus)
+    present = memory.invalidate_page(0x10, 1)
+    absent = memory.invalidate_page(0x10, 1)
+    assert present.hit and not absent.hit
+    assert present.cycles > absent.cycles  # Appendix B's timing channel.
+    assert memory.cycles == cycles_before + present.cycles + absent.cycles
+    flushes = [event for event in seen if isinstance(event, FlushEvent)]
+    assert [f.present for f in flushes] == [True, False]
+    assert all(f.scope == "page" for f in flushes)
+
+
+def test_set_secure_region_passthrough() -> None:
+    import random
+
+    from repro.tlb import RandomFillTLB
+
+    tlb = RandomFillTLB(
+        TLBConfig(entries=8, ways=2), victim_asid=1, rng=random.Random(0)
+    )
+    memory = MemorySystem(tlb, PageTableWalker(auto_map=True))
+    memory.set_secure_region(0x100, 4, victim_asid=1)
+    assert tlb.is_secure(0x101, 1)
+    # A TLB without region registers silently ignores the call.
+    build().set_secure_region(0x100, 4)
