@@ -24,15 +24,15 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.isa import CPU, ExecutionStatus, assemble
-from repro.mmu import PageTableWalker
+from repro.mmu import make_walker
 from repro.model.capacity import ChannelEstimate
 from repro.model.patterns import Vulnerability
 from repro.model.table2 import table2_vulnerabilities
 from repro.security.benchgen import BenchmarkLayout, generate
-from repro.security.kinds import TLBKind, make_tlb
+from repro.security.kinds import TLBKind, make_two_level_tlb
 from repro.tlb import TLBConfig
 from repro.tlb.hierarchy import TwoLevelTLB
 
@@ -66,18 +66,14 @@ def _make_hierarchy(
     l1_kind: TLBKind, l2_kind: TLBKind, rng: random.Random
 ) -> TwoLevelTLB:
     layout = BenchmarkLayout()
-    levels = []
-    for kind, config in ((l1_kind, L1_CONFIG), (l2_kind, L2_CONFIG)):
-        levels.append(
-            make_tlb(
-                kind,
-                config,
-                victim_asid=layout.victim_pid,
-                victim_ways=(config.ways // 2 if kind is TLBKind.SP else None),
-                rng=rng,
-            )
-        )
-    return TwoLevelTLB(levels[0], levels[1])
+    return make_two_level_tlb(
+        l1_kind,
+        l2_kind,
+        L1_CONFIG,
+        L2_CONFIG,
+        victim_asid=layout.victim_pid,
+        rng=rng,
+    )
 
 
 def hierarchy_cells(
@@ -122,7 +118,7 @@ def evaluate_hierarchy_cell(
     for mapped in (True, False):
         for _ in range(trials):
             tlb = _make_hierarchy(l1_kind, l2_kind, rng)
-            cpu = CPU(tlb=tlb, translator=PageTableWalker(auto_map=True))
+            cpu = CPU(tlb=tlb, translator=make_walker())
             cpu.load(programs[mapped])
             outcome = cpu.run()
             if outcome.status is ExecutionStatus.PASSED:

@@ -20,7 +20,7 @@ from typing import List, Tuple
 
 from repro.model.patterns import Vulnerability
 from repro.model.table2 import table2_vulnerabilities
-from repro.mmu import PageTableWalker
+from repro.mmu import PageTableWalker, make_walker
 from repro.security.benchgen import BenchmarkLayout
 from repro.security.evaluate import (
     EvaluationConfig,
@@ -39,7 +39,7 @@ def _superpage_walker_factory(layout: BenchmarkLayout):
     base = (layout.sbase // MEGAPAGE_SPAN) * MEGAPAGE_SPAN
 
     def factory() -> PageTableWalker:
-        walker = PageTableWalker(auto_map=True)
+        walker = make_walker()
         table = walker.table_for(layout.victim_pid)
         table.map_page(base, 0x200_000, level=1)
         return walker

@@ -18,20 +18,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.attacks.prime_probe import tlbleed_attack
 from repro.model.capacity import ChannelEstimate
-from repro.mmu import PageTableWalker
+from repro.mmu import make_walker
 from repro.perf.timing import ScheduledProcess, simulate
 from repro.security.evaluate import EvaluationConfig, SecurityEvaluator
-from repro.security.kinds import TLBKind
-from repro.tlb import (
-    RandomFillTLB,
-    ReplacementKind,
-    StaticPartitionTLB,
-    TLBConfig,
-)
+from repro.security.kinds import TLBKind, make_tlb
+from repro.tlb import ReplacementKind, TLBConfig
 from repro.workloads.rsa import RSAWorkload, generate_key
 from repro.workloads.spec import OMNETPP, SpecProfile
 
@@ -56,14 +51,16 @@ def sp_partition_point(
 ) -> PartitionPoint:
     """One SP split measurement (a pure, shardable sweep point)."""
     key = generate_key(bits=64, seed=3)
-    tlb = StaticPartitionTLB(config, victim_asid=1, victim_ways=victim_ways)
+    tlb = make_tlb(
+        TLBKind.SP, config, victim_asid=1, victim_ways=victim_ways
+    )
     results = simulate(
         tlb,
         [
             ScheduledProcess(RSAWorkload(key=key, runs=rsa_runs), asid=1),
             ScheduledProcess(spec, asid=2, instructions=instructions),
         ],
-        walker=PageTableWalker(auto_map=True),
+        walker=make_walker(),
         seed=seed,
     )
     return PartitionPoint(
@@ -118,17 +115,14 @@ def rf_region_point(
     # Performance: the victim's own trace with the region covering its
     # buffers (clipped to the region size).
     workload = RSAWorkload(key=key, runs=rsa_runs)
-    tlb = RandomFillTLB(
-        config,
-        victim_asid=1,
-        sbase=workload.buffers.sbase,
-        ssize=min(pages, workload.buffers.ssize),
-        rng=random.Random(seed),
+    tlb = make_tlb(TLBKind.RF, config, victim_asid=1, rng=random.Random(seed))
+    tlb.set_secure_region(
+        workload.buffers.sbase, min(pages, workload.buffers.ssize)
     )
     results = simulate(
         tlb,
         [ScheduledProcess(workload, asid=1)],
-        walker=PageTableWalker(auto_map=True),
+        walker=make_walker(),
         seed=seed,
     )
     # Security: the Prime + Probe estimate with this region size.
@@ -238,15 +232,12 @@ def walk_latency_point(
 ) -> WalkLatencyPoint:
     """One walk-cost sensitivity measurement (a pure, shardable point)."""
     from repro.mmu import WalkerConfig
-    from repro.tlb import SetAssociativeTLB
 
-    tlb = SetAssociativeTLB(TLBConfig(entries=32, ways=4))
+    tlb = make_tlb(TLBKind.SA, TLBConfig(entries=32, ways=4))
     results = simulate(
         tlb,
         [ScheduledProcess(spec, asid=1, instructions=instructions)],
-        walker=PageTableWalker(
-            WalkerConfig(cycles_per_level=cost), auto_map=True
-        ),
+        walker=make_walker(WalkerConfig(cycles_per_level=cost)),
         seed=seed,
     )
     total = results["total"]

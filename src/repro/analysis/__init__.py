@@ -1,0 +1,79 @@
+"""Static analysis over the reproduction, in two layers.
+
+**Layer 1 -- guest leakage checker.**  A taint/constant dataflow analysis
+over assembled :mod:`repro.isa` programs: contract-declared secrets
+(registers, CSRs, data symbols) are the sources; memory-operand address
+computations, branch conditions, and branch-gated page touches are the
+sinks.  A dynamic mode replays the program on the ISA CPU with a
+:class:`TaintObserver` on the :class:`repro.sim.EventBus` and confirms
+each static *may leak* verdict as a *does leak* secret-correlated access
+pattern.
+
+**Layer 2 -- host invariant linter.**  AST rules enforcing the repo's
+architectural invariants (factory-only TLB/walker construction,
+deterministic simulation paths, frozen event records, no snapshot
+mutation) over ``src/repro``.
+
+Both ship behind ``python -m repro analyze [guest|lint|all]``.
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph
+from .contract import ContractError, LeakageContract, SecretSource
+from .dynamic import (
+    CheckedFinding,
+    CrossCheckReport,
+    TaintObserver,
+    cross_check,
+    secret_correlation,
+    trace_pages,
+)
+from .lint import (
+    LINT_RULES,
+    LintFinding,
+    Rule,
+    lint_source,
+    run_lint,
+)
+from .taint import (
+    GuestReport,
+    LeakageFinding,
+    Taint,
+    TaintAnalysis,
+    analyze_program,
+)
+from .workloads import (
+    DEFAULT_EXPONENT,
+    GUEST_WORKLOADS,
+    GuestWorkload,
+    rsa_constant_time,
+    rsa_square_multiply,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CheckedFinding",
+    "ContractError",
+    "ControlFlowGraph",
+    "CrossCheckReport",
+    "DEFAULT_EXPONENT",
+    "GUEST_WORKLOADS",
+    "GuestReport",
+    "GuestWorkload",
+    "LINT_RULES",
+    "LeakageContract",
+    "LeakageFinding",
+    "LintFinding",
+    "Rule",
+    "SecretSource",
+    "Taint",
+    "TaintAnalysis",
+    "TaintObserver",
+    "analyze_program",
+    "cross_check",
+    "lint_source",
+    "rsa_constant_time",
+    "rsa_square_multiply",
+    "run_lint",
+    "secret_correlation",
+    "trace_pages",
+]

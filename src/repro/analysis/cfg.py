@@ -1,0 +1,181 @@
+"""Control-flow graph over assembled benchmark programs.
+
+The guest leakage checker reasons about *where* secret data can flow, and
+that requires knowing which instructions can follow which.  This module
+builds a per-instruction CFG from a :class:`repro.isa.assembler.Program`:
+
+* successors follow the interpreter's dispatch exactly -- fallthrough for
+  straight-line code, the label target for ``j``, both arms for the
+  conditional branches, nothing after ``halt``/``pass``/``fail``;
+* a virtual *exit* node (index ``len(instructions)``) collects every
+  program end, including falling off the last instruction;
+* basic blocks are derived from the leaders for reporting and tests;
+* postdominators and control dependences (Ferrante-style, specialised to
+  two-way branches) support the implicit-flow half of the taint analysis:
+  an instruction is control-dependent on a branch exactly when the branch
+  outcome decides whether the instruction executes at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import BRANCH_OPS, TERMINATORS
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start`` is the leader's instruction index; ``end`` is exclusive.
+    """
+
+    index: int
+    start: int
+    end: int
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+
+class ControlFlowGraph:
+    """Instruction-granular CFG with a virtual exit node."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        instructions = program.instructions
+        n = len(instructions)
+        #: The virtual exit node's index.
+        self.exit = n
+        successors: List[List[int]] = [[] for _ in range(n)]
+        for pc, instruction in enumerate(instructions):
+            mnemonic = instruction.mnemonic
+            if mnemonic in TERMINATORS:
+                successors[pc].append(self.exit)
+            elif mnemonic == "j":
+                successors[pc].append(
+                    program.label_target(instruction.symbol, instruction.line)
+                )
+            elif mnemonic in BRANCH_OPS:
+                taken = program.label_target(
+                    instruction.symbol, instruction.line
+                )
+                fallthrough = pc + 1 if pc + 1 < n else self.exit
+                successors[pc].append(fallthrough)
+                if taken not in successors[pc]:
+                    successors[pc].append(taken)
+            else:
+                successors[pc].append(pc + 1 if pc + 1 < n else self.exit)
+        self.successors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(edges) for edges in successors
+        )
+        predecessors: List[List[int]] = [[] for _ in range(n + 1)]
+        for pc, edges in enumerate(self.successors):
+            for target in edges:
+                predecessors[target].append(pc)
+        self.predecessors: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(edges) for edges in predecessors
+        )
+        self.blocks: Tuple[BasicBlock, ...] = self._build_blocks()
+        self._postdominators: Tuple[frozenset, ...] = ()
+
+    # -- basic blocks -------------------------------------------------------------
+
+    def _build_blocks(self) -> Tuple[BasicBlock, ...]:
+        n = self.exit
+        if n == 0:
+            return ()
+        leaders: Set[int] = {0}
+        for pc, edges in enumerate(self.successors):
+            if len(edges) > 1 or any(target != pc + 1 for target in edges):
+                # A control transfer: its targets and its fallthrough lead.
+                for target in edges:
+                    if target < n:
+                        leaders.add(target)
+                if pc + 1 < n:
+                    leaders.add(pc + 1)
+        ordered = sorted(leaders)
+        blocks = []
+        for index, start in enumerate(ordered):
+            end = ordered[index + 1] if index + 1 < len(ordered) else n
+            blocks.append(BasicBlock(index=index, start=start, end=end))
+        return tuple(blocks)
+
+    def block_of(self, pc: int) -> BasicBlock:
+        for block in self.blocks:
+            if pc in block:
+                return block
+        raise IndexError(f"pc {pc} outside the program")
+
+    # -- reachability -------------------------------------------------------------
+
+    def reachable(self) -> frozenset:
+        """Instruction indices reachable from the entry."""
+        if self.exit == 0:
+            return frozenset()
+        seen: Set[int] = set()
+        stack = [0]
+        while stack:
+            pc = stack.pop()
+            if pc in seen or pc == self.exit:
+                continue
+            seen.add(pc)
+            stack.extend(self.successors[pc])
+        return frozenset(seen)
+
+    # -- postdominance and control dependence -------------------------------------
+
+    def postdominators(self) -> Tuple[frozenset, ...]:
+        """``result[pc]``: the nodes postdominating ``pc`` (inclusive).
+
+        Computed by the classic iterative dataflow over the reversed CFG;
+        the virtual exit postdominates only itself.  Nodes that cannot
+        reach the exit (an infinite loop) keep the full-set top value for
+        everything past the loop, which is the conservative answer for
+        control dependence.
+        """
+        if self._postdominators:
+            return self._postdominators
+        n = self.exit
+        everything = frozenset(range(n + 1))
+        pdom: List[frozenset] = [everything] * (n + 1)
+        pdom[n] = frozenset({n})
+        changed = True
+        while changed:
+            changed = False
+            for pc in range(n - 1, -1, -1):
+                meet = everything
+                for successor in self.successors[pc]:
+                    meet = meet & pdom[successor]
+                updated = meet | {pc}
+                if updated != pdom[pc]:
+                    pdom[pc] = updated
+                    changed = True
+        self._postdominators = tuple(pdom)
+        return self._postdominators
+
+    def control_dependencies(self) -> Dict[int, frozenset]:
+        """``result[pc]``: branch pcs whose outcome gates ``pc``.
+
+        ``pc`` is control-dependent on branch ``b`` iff some successor of
+        ``b`` is postdominated by ``pc`` while ``b`` itself is not (other
+        than by ``b`` trivially): taking the other arm can skip ``pc``.
+        """
+        pdom = self.postdominators()
+        dependencies: Dict[int, Set[int]] = {}
+        for branch, edges in enumerate(self.successors):
+            if len(edges) < 2:
+                continue
+            gated: Set[int] = set()
+            for successor in edges:
+                for pc in range(self.exit):
+                    if pc in pdom[successor] and (
+                        pc == branch or pc not in pdom[branch]
+                    ):
+                        gated.add(pc)
+            gated.discard(branch)
+            for pc in gated:
+                dependencies.setdefault(pc, set()).add(branch)
+        return {pc: frozenset(branches) for pc, branches in dependencies.items()}

@@ -1,0 +1,211 @@
+"""The ``python -m repro analyze`` command.
+
+Three modes, both CI gates:
+
+* ``analyze guest [--workload NAME]`` -- run the static leakage checker
+  (and, unless ``--static-only``, the dynamic cross-check) over bundled
+  guest workloads.  Exit 0 iff every workload matches its expectation:
+  leaky workloads are flagged *and* trace-confirmed, clean ones report
+  nothing and show no secret-correlated pages.
+* ``analyze lint [PATH...]`` -- run the invariant linter (default:
+  ``src/repro``).  Exit 0 iff no findings.
+* ``analyze all`` -- both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Tuple
+
+from repro.isa.assembler import assemble
+
+
+def _check_guest(
+    names: List[str], static_only: bool, design: str
+) -> Tuple[List[str], List[dict], int]:
+    """Run workloads; return (text blocks, JSON payloads, failure count)."""
+    from repro.analysis.dynamic import cross_check
+    from repro.analysis.report import format_guest_report, guest_report_to_dict
+    from repro.analysis.taint import analyze_program
+    from repro.analysis.workloads import GUEST_WORKLOADS
+    from repro.security.kinds import TLBKind
+
+    blocks: List[str] = []
+    payloads: List[dict] = []
+    failures = 0
+    for name in names:
+        workload = GUEST_WORKLOADS[name]
+        program = assemble(workload.source())
+        report = analyze_program(program, name=name)
+        cross = None
+        if not static_only:
+            cross = cross_check(workload, report, kind=TLBKind[design])
+        ok = _expectation_met(workload, report, cross)
+        if not ok:
+            failures += 1
+        verdict = "expected" if ok else "UNEXPECTED"
+        blocks.append(
+            format_guest_report(report, cross)
+            + f"\nverdict: {verdict} ("
+            + ("leak" if workload.expect_leak else "clean")
+            + " expected)"
+        )
+        payload = guest_report_to_dict(report, cross)
+        payload["expect_leak"] = workload.expect_leak
+        payload["ok"] = ok
+        payloads.append(payload)
+    return blocks, payloads, failures
+
+
+def _expectation_met(workload, report, cross) -> bool:
+    if workload.expect_leak:
+        if report.clean:
+            return False
+        if cross is not None and not cross.leaks_dynamically:
+            return False
+        if cross is not None and cross.confirmed_count == 0:
+            return False
+        return True
+    if not report.clean:
+        return False
+    if cross is not None and cross.leaks_dynamically:
+        return False
+    return True
+
+
+def _cmd_guest(args: argparse.Namespace) -> int:
+    from repro.analysis.workloads import GUEST_WORKLOADS
+
+    names = [args.workload] if args.workload else sorted(GUEST_WORKLOADS)
+    blocks, payloads, failures = _check_guest(
+        names, static_only=args.static_only, design=args.design
+    )
+    if args.json:
+        print(json.dumps({"guest": payloads}, indent=2))
+    else:
+        print("\n\n".join(blocks))
+    return 1 if failures else 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import LINT_RULES, iter_python_files, run_lint
+    from repro.analysis.report import (
+        format_lint_findings,
+        lint_findings_to_dict,
+    )
+
+    if args.rules:
+        for rule in LINT_RULES:
+            print(f"{rule.name}: {rule.description}")
+        return 0
+    paths = args.paths or ["src/repro"]
+    findings = run_lint(paths)
+    checked = sum(1 for _path in iter_python_files(paths))
+    if args.json:
+        payload = lint_findings_to_dict(findings)
+        payload["checked_files"] = checked
+        print(json.dumps(payload, indent=2))
+    else:
+        print(format_lint_findings(findings, checked_files=checked))
+    return 1 if findings else 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import iter_python_files, run_lint
+    from repro.analysis.report import (
+        format_lint_findings,
+        lint_findings_to_dict,
+    )
+    from repro.analysis.workloads import GUEST_WORKLOADS
+
+    paths = args.paths or ["src/repro"]
+    findings = run_lint(paths)
+    checked = sum(1 for _path in iter_python_files(paths))
+    names = sorted(GUEST_WORKLOADS)
+    blocks, payloads, guest_failures = _check_guest(
+        names, static_only=args.static_only, design=args.design
+    )
+    ok = not findings and not guest_failures
+    if args.json:
+        lint_payload = lint_findings_to_dict(findings)
+        lint_payload["checked_files"] = checked
+        print(
+            json.dumps(
+                {"lint": lint_payload, "guest": payloads, "ok": ok}, indent=2
+            )
+        )
+    else:
+        print(format_lint_findings(findings, checked_files=checked))
+        print()
+        print("\n\n".join(blocks))
+        print()
+        summary = "OK" if ok else "FAILED"
+        print(
+            f"analyze: {summary} ({len(findings)} lint findings,"
+            f" {guest_failures} workload expectation failures)"
+        )
+    return 0 if ok else 1
+
+
+def add_analyze_parser(subparsers) -> None:
+    """Wire ``analyze`` into the top-level repro CLI."""
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="static leakage checker + simulator invariant linter",
+        description=(
+            "Layer 1 statically checks guest programs for secret-dependent"
+            " address flow and cross-validates findings against event-bus"
+            " traces; layer 2 lints the simulator sources for architectural"
+            " invariants."
+        ),
+    )
+    modes = analyze.add_subparsers(dest="mode", required=True)
+
+    guest = modes.add_parser(
+        "guest", help="leakage-contract check of guest programs"
+    )
+    from repro.analysis.workloads import GUEST_WORKLOADS
+
+    guest.add_argument(
+        "--workload",
+        choices=sorted(GUEST_WORKLOADS),
+        default=None,
+        help="bundled workload to check (default: all)",
+    )
+    guest.add_argument(
+        "--static-only",
+        action="store_true",
+        help="skip the dynamic event-bus cross-check",
+    )
+    guest.add_argument(
+        "--design",
+        choices=["SA", "SP", "RF"],
+        default="SA",
+        help="TLB design for the dynamic cross-check (default: SA)",
+    )
+    guest.add_argument("--json", action="store_true")
+    guest.set_defaults(func=_cmd_guest)
+
+    lint = modes.add_parser(
+        "lint", help="invariant lint of the simulator sources"
+    )
+    lint.add_argument(
+        "paths", nargs="*", help="files/directories (default: src/repro)"
+    )
+    lint.add_argument(
+        "--rules", action="store_true", help="list the rule catalog and exit"
+    )
+    lint.add_argument("--json", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
+
+    both = modes.add_parser("all", help="lint + every bundled workload")
+    both.add_argument(
+        "paths", nargs="*", help="lint files/directories (default: src/repro)"
+    )
+    both.add_argument("--static-only", action="store_true")
+    both.add_argument(
+        "--design", choices=["SA", "SP", "RF"], default="SA"
+    )
+    both.add_argument("--json", action="store_true")
+    both.set_defaults(func=_cmd_all)

@@ -1,0 +1,129 @@
+"""Leakage contracts: which program state holds secrets.
+
+Following the leakage-contract line of work, a guest program's security
+claim is split into a *contract* (what is secret) and an *analysis* (does
+any secret reach an observable sink).  Contracts name three kinds of
+sources:
+
+* ``reg:<name>`` -- a register holds the secret at program entry;
+* ``csr:<name>`` -- reading the CSR yields the secret;
+* ``symbol:<name>`` -- loads from the data symbol's extent yield the
+  secret (the RSA exponent word is the canonical example).
+
+A program can declare its own contract inline with pragma comments::
+
+    #@secret exponent
+    #@secret reg:a0
+
+Bare names are resolved against the program's data symbols first, then
+register names, then CSR names.  A symbol's extent runs from its address
+to the next data symbol (or one dword when it is the last symbol) -- the
+benchmark layouts place each logical buffer at its own ``.org``, so the
+extent is the buffer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.isa.assembler import WORD, Program
+from repro.isa.csr import CSR_ADDRESSES
+from repro.isa.instructions import REGISTER_NAMES
+
+#: ``#@secret <spec>`` anywhere in a source line.
+SECRET_PRAGMA = re.compile(r"#@\s*secret\s+(\S+)")
+
+
+class ContractError(Exception):
+    """An unresolvable secret declaration."""
+
+
+@dataclass(frozen=True)
+class SecretSource:
+    """One declared secret: a register, a CSR, or a data symbol."""
+
+    kind: str  # "reg" | "csr" | "symbol"
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("reg", "csr", "symbol"):
+            raise ContractError(f"unknown secret kind {self.kind!r}")
+
+    @property
+    def label(self) -> str:
+        return f"{self.kind}:{self.name}"
+
+
+@dataclass(frozen=True)
+class LeakageContract:
+    """The set of declared secrets for one guest program."""
+
+    secrets: Tuple[SecretSource, ...] = ()
+
+    @classmethod
+    def from_program(cls, program: Program) -> "LeakageContract":
+        """Collect the ``#@secret`` pragmas out of the program source."""
+        secrets = []
+        for line in program.source.splitlines():
+            match = SECRET_PRAGMA.search(line)
+            if match:
+                secrets.append(resolve_secret(match.group(1), program))
+        return cls(secrets=tuple(secrets))
+
+    def secret_registers(self) -> frozenset:
+        return frozenset(
+            REGISTER_NAMES[source.name]
+            for source in self.secrets
+            if source.kind == "reg"
+        )
+
+    def secret_csrs(self) -> frozenset:
+        return frozenset(
+            source.name for source in self.secrets if source.kind == "csr"
+        )
+
+    def secret_ranges(self, program: Program) -> List[Tuple[int, int, SecretSource]]:
+        """``(lo, hi, source)`` half-open byte ranges of the secret symbols."""
+        ranges = []
+        addresses = sorted(program.symbols.values())
+        for source in self.secrets:
+            if source.kind != "symbol":
+                continue
+            lo = program.symbol_address(source.name)
+            higher = [address for address in addresses if address > lo]
+            hi = higher[0] if higher else lo + WORD
+            ranges.append((lo, hi, source))
+        return ranges
+
+
+def resolve_secret(spec: str, program: Program) -> SecretSource:
+    """Turn a pragma spec into a :class:`SecretSource`.
+
+    Accepts explicit ``reg:``/``csr:``/``symbol:`` prefixes or a bare name
+    resolved against symbols, then registers, then CSRs.
+    """
+    if ":" in spec:
+        kind, _, name = spec.partition(":")
+        source = SecretSource(kind=kind, name=name)
+        _validate(source, program)
+        return source
+    if spec in program.symbols:
+        return SecretSource(kind="symbol", name=spec)
+    if spec in REGISTER_NAMES:
+        return SecretSource(kind="reg", name=spec)
+    if spec in CSR_ADDRESSES:
+        return SecretSource(kind="csr", name=spec)
+    raise ContractError(
+        f"secret {spec!r} is not a data symbol, register, or CSR"
+    )
+
+
+def _validate(source: SecretSource, program: Program) -> None:
+    if source.kind == "reg" and source.name not in REGISTER_NAMES:
+        raise ContractError(f"unknown register {source.name!r}")
+    if source.kind == "csr" and source.name not in CSR_ADDRESSES:
+        raise ContractError(f"unknown CSR {source.name!r}")
+    if source.kind == "symbol" and source.name not in program.symbols:
+        raise ContractError(f"unknown data symbol {source.name!r}")

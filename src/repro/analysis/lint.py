@@ -1,0 +1,388 @@
+"""The host invariant linter: repo architecture rules as AST checks.
+
+The simulator's correctness arguments lean on a handful of structural
+invariants that ordinary linters cannot express.  Each is a named rule
+over Python ASTs:
+
+``facade-tlb-construction``
+    TLB designs are built only inside ``repro.tlb`` and the registered
+    factories of ``repro.security.kinds``; every drive loop goes through
+    ``make_tlb``/``make_two_level_tlb`` so experiments stay comparable
+    and observable through the :class:`repro.sim.MemorySystem` facade.
+
+``facade-walker-construction``
+    ``PageTableWalker`` is built only inside ``repro.mmu`` and the
+    :class:`repro.sim.MemorySystem` default; everything else uses
+    ``repro.mmu.make_walker``.
+
+``deterministic-sim``
+    Simulation code may not consult wall clocks or the process-global
+    RNG (``time.time``, ``random.random``, seedless ``random.Random()``,
+    ...): every experiment must be a pure function of its seeds.  The
+    ``repro.runner`` orchestration layer is exempt -- its telemetry
+    timestamps never feed simulation state.
+
+``frozen-event-dataclasses``
+    Event record dataclasses (``*Event``) stay ``frozen=True``: observers
+    must not be able to mutate the stream other observers see.
+
+``no-snapshot-mutation``
+    Values returned by ``snapshot()``/``entries()`` are isolated copies
+    for inspection; assigning to them (or calling their mutators) is
+    always a bug -- the live structure will not change.
+
+A finding can be waived on its own line with a trailing
+``# invariant: allow <rule-name>`` comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: The TLB design classes the facade rule guards.
+TLB_CLASSES = frozenset(
+    {
+        "SetAssociativeTLB",
+        "StaticPartitionTLB",
+        "RandomFillTLB",
+        "DynamicPartitionTLB",
+        "TwoLevelTLB",
+    }
+)
+
+#: Process-global RNG entry points (all mutate or read shared hidden state).
+GLOBAL_RANDOM_FUNCTIONS = frozenset(
+    {
+        "random",
+        "randrange",
+        "randint",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "seed",
+        "getrandbits",
+        "uniform",
+        "gauss",
+    }
+)
+
+#: Wall-clock reads that would make runs irreproducible.
+WALL_CLOCK_FUNCTIONS = frozenset(
+    {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+)
+
+#: Methods that mutate a TLB entry in place.
+ENTRY_MUTATORS = frozenset({"invalidate", "fill", "touch"})
+
+#: Methods whose return values are isolated copies.
+SNAPSHOT_METHODS = frozenset({"snapshot", "entries"})
+
+WAIVER_MARKER = "invariant: allow"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class Rule:
+    """Base class: subclasses visit one parsed module."""
+
+    name: str = ""
+    description: str = ""
+    #: Module-relative path prefixes/files where the rule does not apply.
+    allowed_prefixes: Tuple[str, ...] = ()
+    allowed_files: Tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath in self.allowed_files:
+            return False
+        return not any(
+            relpath.startswith(prefix) for prefix in self.allowed_prefixes
+        )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, relpath: str, message: str) -> LintFinding:
+        return LintFinding(
+            rule=self.name,
+            path=relpath,
+            line=getattr(node, "lineno", 0),
+            message=message,
+        )
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class FacadeTLBConstruction(Rule):
+    name = "facade-tlb-construction"
+    description = (
+        "TLB designs are constructed only in repro.tlb and the"
+        " repro.security.kinds factories (use make_tlb/make_two_level_tlb)"
+    )
+    allowed_prefixes = ("repro/tlb/",)
+    allowed_files = ("repro/security/kinds.py",)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and _call_name(node) in TLB_CLASSES:
+                yield self.finding(
+                    node,
+                    relpath,
+                    f"direct {_call_name(node)}(...) construction;"
+                    " go through the registered factories in"
+                    " repro.security.kinds",
+                )
+
+
+class FacadeWalkerConstruction(Rule):
+    name = "facade-walker-construction"
+    description = (
+        "PageTableWalker is constructed only in repro.mmu and the"
+        " MemorySystem default (use repro.mmu.make_walker)"
+    )
+    allowed_prefixes = ("repro/mmu/",)
+    allowed_files = ("repro/sim/system.py",)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and _call_name(node) == "PageTableWalker"
+            ):
+                yield self.finding(
+                    node,
+                    relpath,
+                    "direct PageTableWalker(...) construction; use"
+                    " repro.mmu.make_walker",
+                )
+
+
+class DeterministicSim(Rule):
+    name = "deterministic-sim"
+    description = (
+        "no wall-clock or process-global RNG calls in simulation paths"
+        " (thread a seeded random.Random through instead)"
+    )
+    #: Orchestration telemetry stamps real time; simulation never reads it.
+    allowed_prefixes = ("repro/runner/",)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                module, attr = func.value.id, func.attr
+                if module == "random" and attr in GLOBAL_RANDOM_FUNCTIONS:
+                    yield self.finding(
+                        node,
+                        relpath,
+                        f"random.{attr}() uses the process-global RNG;"
+                        " accept a seeded random.Random instead",
+                    )
+                elif module == "time" and attr in WALL_CLOCK_FUNCTIONS:
+                    yield self.finding(
+                        node,
+                        relpath,
+                        f"time.{attr}() reads the wall clock inside a"
+                        " simulation path",
+                    )
+                elif module == "datetime" and attr in ("now", "utcnow"):
+                    yield self.finding(
+                        node,
+                        relpath,
+                        f"datetime.{attr}() reads the wall clock inside a"
+                        " simulation path",
+                    )
+            if _call_name(node) == "Random" and not node.args and not node.keywords:
+                yield self.finding(
+                    node,
+                    relpath,
+                    "Random() without a seed draws OS entropy; pass an"
+                    " explicit seed",
+                )
+
+
+class FrozenEventDataclasses(Rule):
+    name = "frozen-event-dataclasses"
+    description = "event record dataclasses (*Event) must be frozen=True"
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Event"):
+                continue
+            decorated = False
+            frozen = False
+            for decorator in node.decorator_list:
+                if (
+                    isinstance(decorator, ast.Name)
+                    and decorator.id == "dataclass"
+                ):
+                    decorated = True
+                elif (
+                    isinstance(decorator, ast.Call)
+                    and _call_name(decorator) == "dataclass"
+                ):
+                    decorated = True
+                    for keyword in decorator.keywords:
+                        if (
+                            keyword.arg == "frozen"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True
+                        ):
+                            frozen = True
+            if decorated and not frozen:
+                yield self.finding(
+                    node,
+                    relpath,
+                    f"event dataclass {node.name} must be @dataclass"
+                    "(frozen=True): observers share the stream",
+                )
+
+
+def _chain_calls_snapshot(node: ast.AST) -> bool:
+    """Does the expression chain under ``node`` call snapshot()/entries()?"""
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and _call_name(child) in SNAPSHOT_METHODS:
+            if isinstance(child.func, ast.Attribute):
+                return True
+    return False
+
+
+class NoSnapshotMutation(Rule):
+    name = "no-snapshot-mutation"
+    description = (
+        "snapshot()/entries() return isolated copies; mutating them is"
+        " always a bug"
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            targets: Sequence[ast.expr] = ()
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = (node.target,)
+            for target in targets:
+                if isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and _chain_calls_snapshot(target.value):
+                    yield self.finding(
+                        node,
+                        relpath,
+                        "assignment into a snapshot()/entries() copy has"
+                        " no effect on the live structure",
+                    )
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ENTRY_MUTATORS
+                and _chain_calls_snapshot(node.func.value)
+            ):
+                yield self.finding(
+                    node,
+                    relpath,
+                    f"{node.func.attr}() on a snapshot()/entries() copy"
+                    " mutates dead state",
+                )
+
+
+#: Rule registry, in reporting order.
+LINT_RULES: Tuple[Rule, ...] = (
+    FacadeTLBConstruction(),
+    FacadeWalkerConstruction(),
+    DeterministicSim(),
+    FrozenEventDataclasses(),
+    NoSnapshotMutation(),
+)
+
+
+def module_relpath(path: Path) -> str:
+    """Path relative to the ``repro`` package root, slash-separated.
+
+    Files outside the package (test fixtures, scratch snippets) keep the
+    bare filename and get no allowlist privileges.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.name
+
+
+def lint_source(
+    source: str,
+    path: Union[str, Path] = "<string>",
+    rules: Iterable[Rule] = LINT_RULES,
+) -> List[LintFinding]:
+    """Lint one module's source text."""
+    relpath = module_relpath(Path(path))
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    findings: List[LintFinding] = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(tree, relpath):
+            if _waived(lines, finding):
+                continue
+            findings.append(finding)
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.rule))
+    return findings
+
+
+def _waived(lines: Sequence[str], finding: LintFinding) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    line = lines[finding.line - 1]
+    marker = line.find(WAIVER_MARKER)
+    if marker < 0:
+        return False
+    waived = line[marker + len(WAIVER_MARKER):].strip()
+    return waived.startswith(finding.rule)
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    rules: Iterable[Rule] = LINT_RULES,
+) -> List[LintFinding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: List[LintFinding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            lint_source(path.read_text(), path=path, rules=rules)
+        )
+    return findings

@@ -1,0 +1,130 @@
+"""Text and JSON reporters shared by both analysis layers."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .dynamic import CrossCheckReport
+from .lint import LintFinding
+from .taint import GuestReport, LeakageFinding
+
+
+# -- guest layer ---------------------------------------------------------------
+
+
+def finding_to_dict(finding: LeakageFinding) -> Dict[str, Any]:
+    return {
+        "kind": finding.kind,
+        "pc": finding.pc,
+        "mnemonic": finding.mnemonic,
+        "line": finding.line,
+        "sources": list(finding.sources),
+        "path": list(finding.path),
+        "pages": [hex(page) for page in finding.pages],
+    }
+
+
+def guest_report_to_dict(
+    report: GuestReport, cross: Optional[CrossCheckReport] = None
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "workload": report.name,
+        "secrets": [source.label for source in report.contract.secrets],
+        "instructions": report.instructions,
+        "reachable": report.reachable,
+        "findings": [finding_to_dict(finding) for finding in report.findings],
+        "counts": report.by_kind(),
+        "clean": report.clean,
+    }
+    if cross is not None:
+        payload["cross_check"] = {
+            "exponents": [hex(exponent) for exponent in cross.exponents],
+            "correlated_pages": [hex(page) for page in cross.correlated_pages],
+            "correlated_sets": list(cross.correlated_sets),
+            "confirmed": cross.confirmed_count,
+            "checked": len(cross.checked),
+            "leaks_dynamically": cross.leaks_dynamically,
+        }
+    return payload
+
+
+def format_guest_report(
+    report: GuestReport, cross: Optional[CrossCheckReport] = None
+) -> str:
+    secrets = ", ".join(
+        source.label for source in report.contract.secrets
+    ) or "(no secrets declared)"
+    lines = [
+        f"== guest leakage check: {report.name} ==",
+        f"contract: {secrets}",
+        (
+            f"{report.instructions} instructions"
+            f" ({report.reachable} reachable)"
+        ),
+    ]
+    if report.clean:
+        lines.append("no secret-dependent address flow found")
+    else:
+        counts = ", ".join(
+            f"{count} {kind}" for kind, count in sorted(report.by_kind().items())
+        )
+        lines.append(f"{len(report.findings)} findings ({counts}):")
+        for finding in report.findings:
+            lines.append(f"  {finding.describe()}")
+    if cross is not None:
+        lines.append(
+            "dynamic cross-check over exponents "
+            + ", ".join(hex(e) for e in cross.exponents)
+            + ":"
+        )
+        pages = (
+            ", ".join(hex(page) for page in cross.correlated_pages) or "none"
+        )
+        lines.append(f"  secret-correlated pages: {pages}")
+        if cross.correlated_sets:
+            lines.append(
+                "  secret-correlated TLB sets: "
+                + ", ".join(str(index) for index in cross.correlated_sets)
+            )
+        if cross.checked:
+            lines.append(
+                f"  confirmed {cross.confirmed_count}/{len(cross.checked)}"
+                " static findings in the trace"
+            )
+    return "\n".join(lines)
+
+
+# -- lint layer ----------------------------------------------------------------
+
+
+def lint_findings_to_dict(findings: Sequence[LintFinding]) -> Dict[str, Any]:
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "counts": by_rule,
+        "total": len(findings),
+    }
+
+
+def format_lint_findings(
+    findings: Sequence[LintFinding], checked_files: int = 0
+) -> str:
+    lines: List[str] = []
+    suffix = f" across {checked_files} files" if checked_files else ""
+    if not findings:
+        lines.append(f"invariant lint: clean{suffix}")
+        return "\n".join(lines)
+    lines.append(f"invariant lint: {len(findings)} finding(s){suffix}")
+    for finding in findings:
+        lines.append(f"  {finding.describe()}")
+    return "\n".join(lines)

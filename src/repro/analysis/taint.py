@@ -1,0 +1,497 @@
+"""Forward taint/constant dataflow over the guest CFG.
+
+The analysis runs two lattices side by side over every reachable
+instruction, joining at control-flow merges until a fixpoint:
+
+* a **value lattice** per register -- ``0`` at entry (the CPU zeroes the
+  register file), a known constant after ``li``/``la`` and arithmetic on
+  known operands, ``unknown`` (``None``) otherwise.  Known values let the
+  checker name the exact *pages* a flagged access touches.
+* a **taint lattice** per register, CSR and store address -- the set of
+  contract sources that may flow into the cell, plus one representative
+  def-use ``path`` of instruction indices for the report.
+
+Sinks are the paper's three-step observables: a memory operand whose
+*address* is tainted (data flow into the page number), a conditional
+branch on tainted operands, and -- the TLBleed shape -- a memory access
+*control-dependent* on such a branch, where the secret decides whether
+the page is touched at all.  Each sink hit becomes a
+:class:`LeakageFinding` carrying the taint path and the page set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import (
+    BRANCH_OPS,
+    Instruction,
+    LOAD_OPS,
+    REG_IMM_OPS,
+    REG_REG_OPS,
+    STORE_OPS,
+)
+
+from .cfg import ControlFlowGraph
+from .contract import LeakageContract
+
+PAGE_BITS = 12
+MASK64 = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Which secrets may occupy a cell, and one def-use path that got them
+    there (instruction indices, source first, most recent def last)."""
+
+    sources: frozenset = frozenset()
+    path: Tuple[int, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.sources)
+
+    def through(self, pc: int) -> "Taint":
+        """Extend the representative path through a defining instruction."""
+        if not self.sources:
+            return NO_TAINT
+        if self.path and self.path[-1] == pc:
+            return self
+        return Taint(self.sources, self.path + (pc,))
+
+
+NO_TAINT = Taint()
+
+
+def join_taint(left: Taint, right: Taint) -> Taint:
+    if not left.sources:
+        return right
+    if not right.sources:
+        return left
+    sources = left.sources | right.sources
+    # Keep the shorter representative path; ties go to the left operand so
+    # the fixpoint terminates on stable state.
+    path = left.path if len(left.path) <= len(right.path) else right.path
+    return Taint(sources, path)
+
+
+@dataclass(frozen=True)
+class AbsState:
+    """One program point's abstract state (immutable; joins build new ones)."""
+
+    reg_value: Tuple[Optional[int], ...]
+    reg_taint: Tuple[Taint, ...]
+    csr_taint: Tuple[Tuple[str, Taint], ...] = ()
+    mem_taint: Tuple[Tuple[int, Taint], ...] = ()
+    #: Summary taint for stores through statically unknown addresses.
+    mem_any: Taint = NO_TAINT
+
+    @classmethod
+    def entry(cls, contract: LeakageContract) -> "AbsState":
+        values: List[Optional[int]] = [0] * 32
+        taints = [NO_TAINT] * 32
+        for register in contract.secret_registers():
+            values[register] = None
+            taints[register] = Taint(frozenset({f"reg:x{register}"}), ())
+        return cls(reg_value=tuple(values), reg_taint=tuple(taints))
+
+    def csr(self, name: str) -> Taint:
+        for key, taint in self.csr_taint:
+            if key == name:
+                return taint
+        return NO_TAINT
+
+    def memory(self, address: Optional[int]) -> Taint:
+        if address is None:
+            # Unknown address: any tainted store may alias it.
+            taint = self.mem_any
+            for _address, stored in self.mem_taint:
+                taint = join_taint(taint, stored)
+            return taint
+        for key, stored in self.mem_taint:
+            if key == address:
+                return join_taint(stored, self.mem_any)
+        return self.mem_any
+
+    def with_reg(self, register, value, taint) -> "AbsState":
+        if register in (None, 0):
+            return self
+        values = list(self.reg_value)
+        taints = list(self.reg_taint)
+        values[register] = value if value is None else value & MASK64
+        taints[register] = taint
+        return AbsState(
+            reg_value=tuple(values),
+            reg_taint=tuple(taints),
+            csr_taint=self.csr_taint,
+            mem_taint=self.mem_taint,
+            mem_any=self.mem_any,
+        )
+
+    def with_csr(self, name: str, taint: Taint) -> "AbsState":
+        entries = tuple(
+            (key, value) for key, value in self.csr_taint if key != name
+        )
+        if taint:
+            entries = entries + ((name, taint),)
+        return AbsState(
+            reg_value=self.reg_value,
+            reg_taint=self.reg_taint,
+            csr_taint=entries,
+            mem_taint=self.mem_taint,
+            mem_any=self.mem_any,
+        )
+
+    def with_store(self, address: Optional[int], taint: Taint) -> "AbsState":
+        if address is None:
+            if not taint:
+                return self
+            return AbsState(
+                reg_value=self.reg_value,
+                reg_taint=self.reg_taint,
+                csr_taint=self.csr_taint,
+                mem_taint=self.mem_taint,
+                mem_any=join_taint(self.mem_any, taint),
+            )
+        entries = tuple(
+            (key, value) for key, value in self.mem_taint if key != address
+        )
+        if taint:
+            entries = entries + ((address, taint),)
+        return AbsState(
+            reg_value=self.reg_value,
+            reg_taint=self.reg_taint,
+            csr_taint=self.csr_taint,
+            mem_taint=entries,
+            mem_any=self.mem_any,
+        )
+
+
+def join_states(left: AbsState, right: AbsState) -> AbsState:
+    values = tuple(
+        a if a == b else None
+        for a, b in zip(left.reg_value, right.reg_value)
+    )
+    taints = tuple(
+        join_taint(a, b) for a, b in zip(left.reg_taint, right.reg_taint)
+    )
+    csr_names = {name for name, _ in left.csr_taint} | {
+        name for name, _ in right.csr_taint
+    }
+    csrs = tuple(
+        (name, join_taint(left.csr(name), right.csr(name)))
+        for name in sorted(csr_names)
+    )
+    addresses = {address for address, _ in left.mem_taint} | {
+        address for address, _ in right.mem_taint
+    }
+    memory = tuple(
+        (
+            address,
+            join_taint(
+                dict(left.mem_taint).get(address, NO_TAINT),
+                dict(right.mem_taint).get(address, NO_TAINT),
+            ),
+        )
+        for address in sorted(addresses)
+    )
+    return AbsState(
+        reg_value=values,
+        reg_taint=taints,
+        csr_taint=csrs,
+        mem_taint=memory,
+        mem_any=join_taint(left.mem_any, right.mem_any),
+    )
+
+
+# -- findings ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LeakageFinding:
+    """One secret-to-sink flow the static analysis proved possible."""
+
+    #: ``tainted-address`` | ``secret-branch`` | ``secret-dependent-access``
+    kind: str
+    pc: int
+    mnemonic: str
+    line: int
+    sources: Tuple[str, ...]
+    #: Def-use chain (instruction indices), source load first, sink last.
+    path: Tuple[int, ...]
+    #: Virtual pages the sink can touch; empty when statically unknown.
+    pages: Tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        pages = (
+            " pages {" + ", ".join(hex(page) for page in self.pages) + "}"
+            if self.pages
+            else ""
+        )
+        chain = " -> ".join(str(pc) for pc in self.path)
+        return (
+            f"{self.kind} at pc {self.pc} ({self.mnemonic}, line {self.line})"
+            f" from {', '.join(self.sources)} via [{chain}]{pages}"
+        )
+
+
+@dataclass(frozen=True)
+class GuestReport:
+    """The static verdict for one guest program."""
+
+    name: str
+    contract: LeakageContract
+    findings: Tuple[LeakageFinding, ...]
+    instructions: int
+    reachable: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.kind] = counts.get(finding.kind, 0) + 1
+        return counts
+
+
+# -- the analyzer --------------------------------------------------------------
+
+
+@dataclass
+class TaintAnalysis:
+    """Fixpoint taint/constant propagation plus the sink scan."""
+
+    program: Program
+    contract: Optional[LeakageContract] = None
+    name: str = "guest"
+    cfg: ControlFlowGraph = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.contract is None:
+            self.contract = LeakageContract.from_program(self.program)
+        self.cfg = ControlFlowGraph(self.program)
+        self._ranges = self.contract.secret_ranges(self.program)
+
+    # -- transfer function ------------------------------------------------------
+
+    def _address_of(self, state: AbsState, instruction: Instruction) -> Optional[int]:
+        base = state.reg_value[instruction.rs1]
+        if base is None:
+            return None
+        return (base + instruction.imm) & MASK64
+
+    def _secret_at(self, address: Optional[int], pc: int) -> Taint:
+        if address is None:
+            # An unknown address may alias any secret extent.
+            sources = frozenset(
+                source.label for _lo, _hi, source in self._ranges
+            )
+            return Taint(sources, (pc,)) if sources else NO_TAINT
+        for lo, hi, source in self._ranges:
+            if lo <= address < hi:
+                return Taint(frozenset({source.label}), (pc,))
+        return NO_TAINT
+
+    def transfer(self, pc: int, state: AbsState) -> AbsState:
+        instruction = self.program.instructions[pc]
+        mnemonic = instruction.mnemonic
+        values = state.reg_value
+        taints = state.reg_taint
+
+        if mnemonic == "li":
+            return state.with_reg(instruction.rd, instruction.imm, NO_TAINT)
+        if mnemonic == "la":
+            address = self.program.symbol_address(
+                instruction.symbol, instruction.line
+            )
+            return state.with_reg(instruction.rd, address, NO_TAINT)
+        if mnemonic == "mv":
+            return state.with_reg(
+                instruction.rd,
+                values[instruction.rs1],
+                taints[instruction.rs1].through(pc),
+            )
+        if mnemonic in REG_REG_OPS:
+            rs1, rs2 = instruction.rs1, instruction.rs2
+            if mnemonic in ("sub", "xor") and rs1 == rs2:
+                # x - x and x ^ x are 0 regardless of taint.
+                return state.with_reg(instruction.rd, 0, NO_TAINT)
+            value = _alu(mnemonic, values[rs1], values[rs2])
+            taint = join_taint(taints[rs1], taints[rs2]).through(pc)
+            return state.with_reg(instruction.rd, value, taint)
+        if mnemonic in REG_IMM_OPS:
+            value = _alu_imm(mnemonic, values[instruction.rs1], instruction.imm)
+            taint = taints[instruction.rs1].through(pc)
+            return state.with_reg(instruction.rd, value, taint)
+        if mnemonic in LOAD_OPS:
+            address = self._address_of(state, instruction)
+            taint = join_taint(
+                self._secret_at(address, pc),
+                join_taint(state.memory(address), taints[instruction.rs1]),
+            ).through(pc)
+            # Loaded data values are statically unknown.
+            return state.with_reg(instruction.rd, None, taint)
+        if mnemonic in STORE_OPS:
+            address = self._address_of(state, instruction)
+            return state.with_store(
+                address, taints[instruction.rs2].through(pc)
+            )
+        if mnemonic == "csrr":
+            if instruction.csr in self.contract.secret_csrs():
+                taint = Taint(frozenset({f"csr:{instruction.csr}"}), (pc,))
+            else:
+                taint = state.csr(instruction.csr).through(pc)
+            return state.with_reg(instruction.rd, None, taint)
+        if mnemonic in ("csrw", "csrwi"):
+            if instruction.rs1 is not None:
+                taint = taints[instruction.rs1].through(pc)
+            else:
+                taint = NO_TAINT
+            return state.with_csr(instruction.csr, taint)
+        # Branches, jumps, sfence.vma, nop and terminators do not change
+        # the dataflow state.
+        return state
+
+    # -- the fixpoint ------------------------------------------------------------
+
+    def solve(self) -> List[Optional[AbsState]]:
+        """IN-state per instruction index (``None`` where unreachable)."""
+        n = self.cfg.exit
+        states: List[Optional[AbsState]] = [None] * (n + 1)
+        if n == 0:
+            return states
+        states[0] = AbsState.entry(self.contract)
+        worklist = [0]
+        while worklist:
+            pc = worklist.pop()
+            if pc == self.cfg.exit:
+                continue
+            out = self.transfer(pc, states[pc])
+            for successor in self.cfg.successors[pc]:
+                current = states[successor]
+                merged = out if current is None else join_states(current, out)
+                if merged != current:
+                    states[successor] = merged
+                    worklist.append(successor)
+        return states
+
+    # -- sink scan ---------------------------------------------------------------
+
+    def run(self) -> GuestReport:
+        states = self.solve()
+        control = self.cfg.control_dependencies()
+        findings: List[LeakageFinding] = []
+        for pc, instruction in enumerate(self.program.instructions):
+            state = states[pc]
+            if state is None:
+                continue
+            if instruction.is_memory_op():
+                findings.extend(
+                    self._memory_findings(pc, instruction, state, states, control)
+                )
+            elif instruction.mnemonic in BRANCH_OPS:
+                taint = join_taint(
+                    state.reg_taint[instruction.rs1],
+                    state.reg_taint[instruction.rs2],
+                )
+                if taint:
+                    findings.append(
+                        self._finding(
+                            "secret-branch", pc, instruction, taint, pages=()
+                        )
+                    )
+        reachable = self.cfg.reachable()
+        return GuestReport(
+            name=self.name,
+            contract=self.contract,
+            findings=tuple(findings),
+            instructions=len(self.program.instructions),
+            reachable=len(reachable),
+        )
+
+    def _memory_findings(self, pc, instruction, state, states, control):
+        pages = self._pages(state, instruction)
+        address_taint = state.reg_taint[instruction.rs1]
+        if address_taint:
+            yield self._finding(
+                "tainted-address", pc, instruction, address_taint, pages
+            )
+        for branch in sorted(control.get(pc, ())):
+            branch_state = states[branch]
+            if branch_state is None:
+                continue
+            condition = self.program.instructions[branch]
+            taint = join_taint(
+                branch_state.reg_taint[condition.rs1],
+                branch_state.reg_taint[condition.rs2],
+            )
+            if taint:
+                # The branch decides whether this page is touched: the
+                # TLBleed shape.  Path: source chain, branch, then sink.
+                yield self._finding(
+                    "secret-dependent-access",
+                    pc,
+                    instruction,
+                    Taint(taint.sources, taint.path + (branch,)),
+                    pages,
+                )
+
+    def _pages(self, state: AbsState, instruction: Instruction) -> Tuple[int, ...]:
+        address = self._address_of(state, instruction)
+        if address is None:
+            return ()
+        return ((address >> PAGE_BITS),)
+
+    def _finding(self, kind, pc, instruction, taint, pages) -> LeakageFinding:
+        path = taint.path if taint.path and taint.path[-1] == pc else taint.path + (pc,)
+        return LeakageFinding(
+            kind=kind,
+            pc=pc,
+            mnemonic=instruction.mnemonic,
+            line=instruction.line,
+            sources=tuple(sorted(taint.sources)),
+            path=path,
+            pages=tuple(sorted(pages)),
+        )
+
+
+def _alu(mnemonic: str, left: Optional[int], right: Optional[int]) -> Optional[int]:
+    if left is None or right is None:
+        return None
+    if mnemonic == "add":
+        return left + right
+    if mnemonic == "sub":
+        return left - right
+    if mnemonic == "and":
+        return left & right
+    if mnemonic == "or":
+        return left | right
+    return left ^ right  # xor
+
+
+def _alu_imm(mnemonic: str, left: Optional[int], imm: int) -> Optional[int]:
+    if left is None:
+        return None
+    if mnemonic == "addi":
+        return left + imm
+    if mnemonic == "andi":
+        return left & imm
+    if mnemonic == "ori":
+        return left | imm
+    if mnemonic == "xori":
+        return left ^ imm
+    if mnemonic == "slli":
+        return left << imm
+    return left >> imm  # srli
+
+
+def analyze_program(
+    program: Program,
+    contract: Optional[LeakageContract] = None,
+    name: str = "guest",
+) -> GuestReport:
+    """Run the leakage checker over one assembled program."""
+    return TaintAnalysis(program=program, contract=contract, name=name).run()

@@ -1,0 +1,171 @@
+"""Guest programs the leakage checker ships with.
+
+Two assembly renderings of the paper's RSA victim, written in the
+benchmark dialect so the static checker and the ISA interpreter see the
+*same* program:
+
+* ``rsa`` -- left-to-right square-and-multiply with libgcrypt's buffer
+  layout (``rp``/``xp``/``tp`` on their own pages, Figure 5).  The result
+  swap dereferences the ``tp`` page only when the current exponent bit is
+  1: the secret-dependent page touch TLBleed keys on.  The checker must
+  flag it.
+* ``rsa-ct`` -- the constant-time repair: every iteration performs the
+  multiply *and* the ``tp`` swap traffic unconditionally and selects the
+  result with arithmetic masks, so no branch and no address depends on
+  the exponent.  The checker must find nothing.
+
+Both declare their contract inline (``#@secret exponent``) and place each
+buffer at its own ``.org`` so a page is a buffer, matching the paper's
+page-granular channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+#: Pages mirror :class:`repro.workloads.rsa.MPIBuffers` (rp/xp/tp) with the
+#: exponent word on its own page above them.
+RP_PAGE = 0x500
+XP_PAGE = 0x501
+TP_PAGE = 0x502
+EXPONENT_PAGE = 0x503
+
+#: A 64-bit exponent with an irregular bit pattern (mixed runs of 0s/1s).
+DEFAULT_EXPONENT = 0xB5C3_9A17_D24E_6F81
+
+#: Exponent probe set for the dynamic cross-check: same width, different
+#: population counts, so secret-dependent page touches change frequency.
+PROBE_EXPONENTS: Tuple[int, ...] = (
+    DEFAULT_EXPONENT,
+    0x8000_0000_0000_0001,
+    0xFFFF_FFFF_FFFF_FFFF,
+)
+
+_DATA_SECTION = f"""\
+    .data
+    .org {RP_PAGE << 12:#x}
+rp: .dword 0x1111
+    .org {XP_PAGE << 12:#x}
+xp: .dword 0x2222
+    .org {TP_PAGE << 12:#x}
+tp: .dword 0x3333
+    .org {EXPONENT_PAGE << 12:#x}
+exponent: .dword {{exponent:#x}}
+"""
+
+
+def rsa_square_multiply(exponent: int = DEFAULT_EXPONENT) -> str:
+    """The leaky victim: bit-conditional multiply and ``tp`` swap."""
+    return (
+        "#@secret exponent\n"
+        + _DATA_SECTION.format(exponent=exponent & ((1 << 64) - 1))
+        + """\
+    .text
+    la s1, rp
+    la s2, xp
+    la s3, tp
+    la t0, exponent
+    ld s4, 0(t0)          # the secret exponent
+    li s5, 64             # bits to scan, MSB first
+loop:
+    beq s5, zero, done
+    # Square: touches rp then xp every window.
+    ld t1, 0(s1)
+    ld t2, 0(s2)
+    sd t1, 0(s2)
+    # Extract the current MSB, then shift the exponent up.
+    srli t3, s4, 63
+    slli s4, s4, 1
+    beq t3, zero, skip    # secret-dependent branch
+    # Multiply runs only for 1-bits; the result swap goes through tp.
+    ld t1, 0(s2)
+    ld t2, 0(s1)
+    ld t4, 0(s3)          # the bit-conditional swap touch
+    sd t2, 0(s3)
+skip:
+    addi s5, s5, -1
+    j loop
+done:
+    pass
+"""
+    )
+
+
+def rsa_constant_time(exponent: int = DEFAULT_EXPONENT) -> str:
+    """The always-swap repair: identical page traffic for every bit."""
+    return (
+        "#@secret exponent\n"
+        + _DATA_SECTION.format(exponent=exponent & ((1 << 64) - 1))
+        + """\
+    .text
+    la s1, rp
+    la s2, xp
+    la s3, tp
+    la t0, exponent
+    ld s4, 0(t0)          # the secret exponent
+    li s5, 64
+loop:
+    beq s5, zero, done
+    # Square: same rp/xp traffic as the leaky variant.
+    ld t1, 0(s1)
+    ld t2, 0(s2)
+    sd t1, 0(s2)
+    # mask = bit ? all-ones : 0, computed branchlessly.
+    srli t3, s4, 63
+    slli s4, s4, 1
+    sub t4, zero, t3
+    # Multiply and swap traffic happen every window; the mask selects
+    # which value survives, so only *data* depends on the secret.
+    ld t1, 0(s2)
+    ld t2, 0(s1)
+    ld t5, 0(s3)          # always-swap: tp touched unconditionally
+    xor t6, t1, t5
+    and t6, t6, t4
+    xor t5, t5, t6
+    sd t5, 0(s3)
+    addi s5, s5, -1
+    j loop
+done:
+    pass
+"""
+    )
+
+
+@dataclass(frozen=True)
+class GuestWorkload:
+    """A bundled guest program and its expected static verdict."""
+
+    name: str
+    description: str
+    build: Callable[[int], str]
+    #: True when the checker is *expected* to find a leak.
+    expect_leak: bool
+    exponents: Tuple[int, ...] = PROBE_EXPONENTS
+
+    def source(self, exponent: int = DEFAULT_EXPONENT) -> str:
+        return self.build(exponent)
+
+
+GUEST_WORKLOADS: Dict[str, GuestWorkload] = {
+    workload.name: workload
+    for workload in (
+        GuestWorkload(
+            name="rsa",
+            description=(
+                "square-and-multiply RSA with the bit-conditional tp swap"
+                " (libgcrypt 1.8.2 shape; must be flagged)"
+            ),
+            build=rsa_square_multiply,
+            expect_leak=True,
+        ),
+        GuestWorkload(
+            name="rsa-ct",
+            description=(
+                "constant-time always-swap RSA (must come back clean)"
+            ),
+            build=rsa_constant_time,
+            expect_leak=False,
+        ),
+    )
+}

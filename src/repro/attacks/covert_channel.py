@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.model.capacity import channel_capacity
-from repro.mmu import PageTableWalker
+from repro.mmu import make_walker
 from repro.security.kinds import TLBKind, make_tlb
 from repro.sim.events import EventBus
 from repro.sim.probe import SetProber
@@ -95,7 +95,7 @@ def transmit(
         # The sender's signalling region is "secure" -- the scenario where
         # the defence must break the channel.
         tlb.set_secure_region(signal_page, nsets, victim_asid=SENDER_ASID)
-    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
+    memory = MemorySystem(tlb, make_walker(), bus=bus)
     receiver = SetProber.for_set(
         memory, PROBE_BASE, monitored_set, RECEIVER_ASID, nsets, config.ways
     )
@@ -162,7 +162,7 @@ def parallel_transmit(
         tlb.set_secure_region(
             SIGNAL_BASE - (SIGNAL_BASE % nsets), nsets, victim_asid=SENDER_ASID
         )
-    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
+    memory = MemorySystem(tlb, make_walker(), bus=bus)
 
     signal_base = SIGNAL_BASE - (SIGNAL_BASE % nsets)
     # Lane i signals in sets 2i (bit 1) / 2i+1 (bit 0).

@@ -21,7 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.mmu import PageTableWalker
+from repro.mmu import PageTableWalker, make_walker
 from repro.security.kinds import TLBKind, make_tlb
 from repro.sim.events import EventBus
 from repro.sim.system import MemorySystem
@@ -100,7 +100,7 @@ def scan_secret_page(
     )
     if isinstance(tlb, RandomFillTLB):
         tlb.set_secure_region(region_base, region_pages, victim_asid=VICTIM_ASID)
-    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
+    memory = MemorySystem(tlb, make_walker(), bus=bus)
 
     hits = []
     for candidate in range(region_base, region_base + region_pages):

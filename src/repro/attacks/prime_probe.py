@@ -27,7 +27,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.mmu import PageTableWalker
+from repro.mmu import PageTableWalker, make_walker
 from repro.security.kinds import TLBKind, make_tlb
 from repro.sim.events import EventBus
 from repro.sim.probe import SetProber, pages_for_set
@@ -161,7 +161,7 @@ def tlbleed_attack(
         tlb.set_secure_region(
             buffers.sbase, buffers.ssize, victim_asid=VICTIM_ASID
         )
-    walker = PageTableWalker(auto_map=True)
+    walker = make_walker()
     ciphertext = key.encrypt(0xC0FFEE % key.n)
     recovered = recover_exponent(tlb, walker, key, ciphertext, buffers, bus=bus)
     true_bits = format(key.d, "b")
@@ -192,7 +192,7 @@ def noisy_tlbleed_attack(
         raise ValueError("noise level cannot be negative")
     key = key or generate_key(bits=64, seed=11)
     buffers = MPIBuffers()
-    walker = PageTableWalker(auto_map=True)
+    walker = make_walker()
     ciphertext = key.encrypt(0xC0FFEE % key.n)
     rng = random.Random(seed)
     noise_asid = 3
@@ -286,7 +286,7 @@ def itlb_attack(
     # The data TLB is irrelevant to this channel; a plain SA one absorbs
     # the rp/xp/tp accesses.
     dtlb = make_tlb(TLBKind.SA, config)
-    walker = PageTableWalker(auto_map=True)
+    walker = make_walker()
     imem = MemorySystem(itlb, walker)
     dmem = MemorySystem(dtlb, walker)
 
@@ -349,7 +349,7 @@ def multi_trace_attack(
         raise ValueError("traces must be a positive odd number")
     key = key or generate_key(bits=64, seed=11)
     buffers = MPIBuffers()
-    walker = PageTableWalker(auto_map=True)
+    walker = make_walker()
     ciphertext = key.encrypt(0xC0FFEE % key.n)
     votes: Optional[List[int]] = None
     rng = random.Random(seed)
@@ -407,7 +407,7 @@ def eddsa_attack(
         tlb.set_secure_region(
             buffers.sbase, buffers.ssize, victim_asid=VICTIM_ASID
         )
-    walker = PageTableWalker(auto_map=True)
+    walker = make_walker()
     victim = TracedScalarMult(scalar, buffers=buffers)
     recovered = recover_secret_bits(
         tlb, walker, victim, monitored_page=buffers.add_vpn

@@ -19,7 +19,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.mmu import PageTableWalker
+from repro.mmu import make_walker
 from repro.security.kinds import TLBKind, make_tlb
 from repro.sim.events import EventBus
 from repro.sim.probe import SetProber
@@ -79,7 +79,7 @@ def profile_secret_set(
     )
     if isinstance(tlb, RandomFillTLB):
         tlb.set_secure_region(region_base, region_pages, victim_asid=VICTIM_ASID)
-    memory = MemorySystem(tlb, PageTableWalker(auto_map=True), bus=bus)
+    memory = MemorySystem(tlb, make_walker(), bus=bus)
     probers = {
         set_index: SetProber.for_set(
             memory, PROBE_BASE, set_index, ATTACKER_ASID, nsets, config.ways

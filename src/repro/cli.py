@@ -16,6 +16,7 @@
 ``covert``     the covert-channel demo
 ``trace``      a toy scenario with the JSONL event tracer attached
 ``run-all``    every experiment, sharded across workers with caching
+``analyze``    static leakage checker (guest) + invariant linter (host)
 =============  =============================================================
 
 Full-fidelity runs (the paper's 500-trial protocol, the complete Figure 7
@@ -426,6 +427,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress output"
     )
     run_all.set_defaults(func=_cmd_run_all)
+
+    from repro.analysis.cli import add_analyze_parser
+
+    add_analyze_parser(subparsers)
 
     return parser
 

@@ -23,7 +23,7 @@ from .address import (
 )
 from .os_model import Process, SwitchPolicy, ToyOS
 from .page_table import PageFault, PageTable, PageTableEntry, Permission
-from .walker import PageTableWalker, WalkerConfig
+from .walker import PageTableWalker, WalkerConfig, make_walker
 
 __all__ = [
     "ENTRIES_PER_TABLE",
@@ -42,6 +42,7 @@ __all__ = [
     "VA_BITS",
     "WalkerConfig",
     "address_of",
+    "make_walker",
     "page_offset",
     "vpn_from_levels",
     "vpn_levels",

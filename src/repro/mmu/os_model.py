@@ -17,7 +17,7 @@ shapes TLB contents:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.tlb.base import BaseTLB

@@ -15,7 +15,7 @@ missing translations.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 from .address import LEVELS, vpn_levels

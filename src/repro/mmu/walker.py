@@ -117,3 +117,23 @@ class _SequentialFrames:
         frame = self._next
         self._next += 1
         return frame
+
+
+def make_walker(
+    config: Optional[WalkerConfig] = None,
+    auto_map: bool = True,
+    frame_allocator: Optional[Callable[[], int]] = None,
+) -> PageTableWalker:
+    """The registered walker factory the drive loops go through.
+
+    Defaults match how every experiment builds its walker (``auto_map``
+    on, footnote 5's pre-generated page tables); the invariant linter
+    (``repro.analysis``) enforces that walkers are constructed only here
+    and in the :class:`repro.sim.MemorySystem` default, so the cost model
+    stays configured in one place.
+    """
+    return PageTableWalker(
+        config=config or WalkerConfig(),
+        auto_map=auto_map,
+        frame_allocator=frame_allocator,
+    )

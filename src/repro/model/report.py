@@ -16,11 +16,10 @@ equivalent as prose, so every keep/eliminate decision can be audited:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .effectiveness import (
     MAPPED_RELATIONS,
-    Relation,
     analyze,
     applicable_relations,
     step3_timings,

@@ -25,7 +25,7 @@ checking effectiveness must agree with brute-force windowing semantics.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 from . import effectiveness
 from .patterns import ThreeStepPattern, Vulnerability

@@ -8,7 +8,7 @@ and 128 entries -- and the SP and RF designs in the six multi-way ones
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Iterator, Tuple
 
 from repro.security.kinds import TLBKind
 from repro.tlb import TLBConfig, fully_associative, single_entry

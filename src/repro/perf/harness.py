@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.mmu import SwitchPolicy, make_walker
 from repro.security.kinds import TLBKind, make_tlb
 from repro.sim.events import EventBus
 from repro.tlb import RandomFillTLB
@@ -146,7 +146,7 @@ def run_cell(
     results = simulate(
         tlb,
         processes,
-        walker=PageTableWalker(auto_map=True),
+        walker=make_walker(),
         quantum=settings.quantum,
         switch_policy=settings.switch_policy,
         seed=settings.seed,

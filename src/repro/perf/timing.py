@@ -17,7 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
-from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.mmu import PageTableWalker, SwitchPolicy, make_walker
 from repro.sim.events import EventBus
 from repro.sim.system import MemorySystem
 from repro.tlb.base import BaseTLB
@@ -84,7 +84,7 @@ def simulate(
         raise ValueError("quantum must be positive")
     memory = MemorySystem(
         tlb,
-        walker or PageTableWalker(auto_map=True),
+        walker or make_walker(),
         switch_policy=switch_policy,
         bus=bus,
     )

@@ -21,7 +21,7 @@ from repro.isa import CPU, ExecutionStatus, Program, assemble
 from repro.model.capacity import ChannelEstimate
 from repro.model.patterns import Vulnerability
 from repro.model.table2 import table2_vulnerabilities
-from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.mmu import PageTableWalker, SwitchPolicy, make_walker
 from repro.sim.events import EventBus
 from repro.sim.system import MemorySystem
 from repro.tlb import TLBConfig
@@ -132,7 +132,7 @@ class SecurityEvaluator:
         if self.config.walker_factory is not None:
             walker = self.config.walker_factory()
         else:
-            walker = PageTableWalker(auto_map=True)
+            walker = make_walker()
         memory = MemorySystem(
             tlb,
             walker,

@@ -12,6 +12,7 @@ from repro.tlb import (
     SetAssociativeTLB,
     StaticPartitionTLB,
     TLBConfig,
+    TwoLevelTLB,
 )
 
 
@@ -43,3 +44,31 @@ def make_tlb(
     if kind is TLBKind.RF:
         return RandomFillTLB(config, victim_asid=victim_asid, rng=rng)
     raise ValueError(f"unknown TLB kind {kind}")  # pragma: no cover
+
+
+def make_two_level_tlb(
+    l1_kind: TLBKind,
+    l2_kind: TLBKind,
+    l1_config: TLBConfig,
+    l2_config: TLBConfig,
+    victim_asid: int = 1,
+    rng: Optional[random.Random] = None,
+) -> TwoLevelTLB:
+    """A two-level hierarchy with any L1/L2 design combination.
+
+    SP levels default to an even way split, matching the single-level
+    convention the evaluations use.  Like :func:`make_tlb`, this is a
+    registered factory: the invariant linter keeps direct construction
+    out of the drive loops.
+    """
+    levels = [
+        make_tlb(
+            kind,
+            config,
+            victim_asid=victim_asid,
+            victim_ways=(config.ways // 2 if kind is TLBKind.SP else None),
+            rng=rng,
+        )
+        for kind, config in ((l1_kind, l1_config), (l2_kind, l2_config))
+    ]
+    return TwoLevelTLB(levels[0], levels[1])

@@ -10,7 +10,7 @@ configuration of Section 5.3 (four sets).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class ReplacementKind(enum.Enum):

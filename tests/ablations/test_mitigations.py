@@ -1,6 +1,5 @@
 """Tests for the Section 2.3 mitigation ladder."""
 
-import pytest
 
 from repro.ablations import (
     evaluate_all_mitigations,

@@ -1,0 +1,127 @@
+"""CFG construction, postdominance, and control dependence."""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.isa import assemble
+
+STRAIGHT = """\
+    li x1, 1
+    li x2, 2
+    halt
+"""
+
+DIAMOND = """\
+    beq x1, x2, right
+    li x3, 1
+    j join
+right:
+    li x3, 2
+join:
+    halt
+"""
+
+GATED = """\
+    beq x1, zero, skip
+    li x3, 1
+    li x4, 2
+skip:
+    halt
+"""
+
+LOOP = """\
+loop:
+    addi x1, x1, 1
+    beq x1, x2, done
+    j loop
+done:
+    halt
+"""
+
+
+def cfg_of(source: str) -> ControlFlowGraph:
+    return ControlFlowGraph(assemble(source))
+
+
+class TestSuccessors:
+    def test_straight_line_chains_to_exit(self):
+        cfg = cfg_of(STRAIGHT)
+        assert cfg.exit == 3
+        assert cfg.successors == ((1,), (2,), (3,))
+
+    def test_branch_has_fallthrough_and_target(self):
+        cfg = cfg_of(DIAMOND)
+        assert set(cfg.successors[0]) == {1, 3}
+
+    def test_jump_goes_to_label(self):
+        cfg = cfg_of(DIAMOND)
+        assert cfg.successors[2] == (4,)
+
+    def test_terminator_goes_to_exit(self):
+        cfg = cfg_of(DIAMOND)
+        assert cfg.successors[4] == (cfg.exit,)
+
+    def test_predecessors_invert_successors(self):
+        cfg = cfg_of(DIAMOND)
+        assert set(cfg.predecessors[4]) == {2, 3}
+        assert cfg.predecessors[0] == ()
+
+
+class TestBlocks:
+    def test_straight_line_is_one_block(self):
+        cfg = cfg_of(STRAIGHT)
+        assert len(cfg.blocks) == 1
+        assert (cfg.blocks[0].start, cfg.blocks[0].end) == (0, 3)
+
+    def test_diamond_splits_at_leaders(self):
+        cfg = cfg_of(DIAMOND)
+        starts = sorted(block.start for block in cfg.blocks)
+        assert starts == [0, 1, 3, 4]
+
+    def test_block_of_finds_the_containing_block(self):
+        cfg = cfg_of(DIAMOND)
+        assert 2 in cfg.block_of(2)
+        assert cfg.block_of(1).start == 1
+
+
+class TestReachability:
+    def test_all_reachable_in_straight_line(self):
+        assert cfg_of(STRAIGHT).reachable() == frozenset({0, 1, 2})
+
+    def test_code_after_halt_is_unreachable(self):
+        cfg = cfg_of("    halt\n    li x1, 1\n")
+        assert cfg.reachable() == frozenset({0})
+
+
+class TestControlDependence:
+    def test_both_arms_depend_on_the_diamond_branch(self):
+        cfg = cfg_of(DIAMOND)
+        deps = cfg.control_dependencies()
+        assert deps.get(1) == frozenset({0})
+        assert deps.get(3) == frozenset({0})
+
+    def test_join_point_does_not_depend_on_the_branch(self):
+        cfg = cfg_of(DIAMOND)
+        assert 4 not in cfg.control_dependencies()
+
+    def test_gated_block_depends_on_its_guard(self):
+        cfg = cfg_of(GATED)
+        deps = cfg.control_dependencies()
+        assert deps.get(1) == frozenset({0})
+        assert deps.get(2) == frozenset({0})
+        assert 3 not in deps
+
+    def test_join_postdominates_the_branch(self):
+        cfg = cfg_of(DIAMOND)
+        pdom = cfg.postdominators()
+        assert 4 in pdom[0]
+        assert 1 not in pdom[0]
+
+    def test_loop_header_and_back_edge_depend_on_the_loop_branch(self):
+        cfg = cfg_of(LOOP)
+        deps = cfg.control_dependencies()
+        # The back edge (pc 2) runs only when the branch (pc 1) falls
+        # through, and the header (pc 0) re-runs only via that back edge.
+        assert deps.get(2) == frozenset({1})
+        assert deps.get(0) == frozenset({1})
+        assert 3 not in deps

@@ -1,0 +1,116 @@
+"""The ``python -m repro analyze`` command surface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+PACKAGE_ROOT = str(Path(repro.__file__).parent)
+
+
+class TestParser:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["analyze", "guest"],
+            ["analyze", "guest", "--workload", "rsa", "--static-only"],
+            ["analyze", "guest", "--design", "RF"],
+            ["analyze", "lint"],
+            ["analyze", "lint", "--rules"],
+            ["analyze", "all", "--static-only"],
+        ],
+    )
+    def test_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+    def test_mode_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "guest", "--workload", "nonsense"]
+            )
+
+
+class TestGuestMode:
+    def test_rsa_is_flagged_and_confirmed(self, capsys):
+        assert main(["analyze", "guest", "--workload", "rsa"]) == 0
+        out = capsys.readouterr().out
+        assert "secret-dependent-access" in out
+        assert "verdict: expected (leak expected)" in out
+
+    def test_rsa_ct_is_clean(self, capsys):
+        assert main(["analyze", "guest", "--workload", "rsa-ct"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: expected (clean expected)" in out
+
+    def test_static_only_skips_the_cross_check(self, capsys):
+        assert (
+            main(
+                [
+                    "analyze",
+                    "guest",
+                    "--workload",
+                    "rsa",
+                    "--static-only",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "correlated pages" not in out
+
+    def test_json_payload_is_machine_readable(self, capsys):
+        assert main(["analyze", "guest", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["workload"]: entry for entry in payload["guest"]}
+        assert by_name["rsa"]["ok"] and by_name["rsa"]["expect_leak"]
+        assert by_name["rsa-ct"]["ok"] and not by_name["rsa-ct"]["findings"]
+
+
+class TestLintMode:
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["analyze", "lint", PACKAGE_ROOT]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_rule_catalog_lists_every_rule(self, capsys):
+        assert main(["analyze", "lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "facade-tlb-construction",
+            "facade-walker-construction",
+            "deterministic-sim",
+            "frozen-event-dataclasses",
+            "no-snapshot-mutation",
+        ):
+            assert name in out
+
+    def test_violations_fail_the_gate(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["analyze", "lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "deterministic-sim" in out
+
+    def test_json_reports_checked_files(self, capsys):
+        assert main(["analyze", "lint", PACKAGE_ROOT, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["checked_files"] > 50
+
+
+class TestAllMode:
+    def test_combined_gate_passes_on_the_shipped_tree(self, capsys):
+        assert main(["analyze", "all", PACKAGE_ROOT, "--static-only"]) == 0
+        out = capsys.readouterr().out
+        assert "analyze: OK" in out
+        assert "0 lint findings" in out

@@ -1,0 +1,93 @@
+"""Leakage-contract parsing and secret resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.contract import (
+    ContractError,
+    LeakageContract,
+    SecretSource,
+    resolve_secret,
+)
+from repro.isa import assemble
+from repro.isa.assembler import WORD
+
+SOURCE = """\
+#@secret key
+#@secret reg:a0
+#@secret csr:process_id
+    la x1, key
+    halt
+    .data
+    .org 0x5000
+key: .dword 0x1234
+    .org 0x6000
+other: .dword 0x5678
+"""
+
+
+def test_pragmas_are_collected_in_order():
+    program = assemble(SOURCE)
+    contract = LeakageContract.from_program(program)
+    assert [(source.kind, source.name) for source in contract.secrets] == [
+        ("symbol", "key"),
+        ("reg", "a0"),
+        ("csr", "process_id"),
+    ]
+
+
+def test_bare_name_prefers_data_symbols():
+    program = assemble(SOURCE)
+    assert resolve_secret("key", program) == SecretSource("symbol", "key")
+
+
+def test_bare_register_and_csr_names_resolve():
+    program = assemble(SOURCE)
+    assert resolve_secret("a0", program).kind == "reg"
+    assert resolve_secret("process_id", program).kind == "csr"
+
+
+def test_unknown_name_raises():
+    program = assemble(SOURCE)
+    with pytest.raises(ContractError):
+        resolve_secret("nonexistent", program)
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ContractError):
+        SecretSource(kind="stack", name="x")
+
+
+def test_secret_registers_and_csrs():
+    program = assemble(SOURCE)
+    contract = LeakageContract.from_program(program)
+    assert 10 in contract.secret_registers()  # a0 is x10
+    assert contract.secret_csrs() == frozenset({"process_id"})
+
+
+def test_symbol_extent_runs_to_the_next_symbol():
+    program = assemble(SOURCE)
+    contract = LeakageContract.from_program(program)
+    ranges = contract.secret_ranges(program)
+    assert len(ranges) == 1
+    lo, hi, source = ranges[0]
+    assert source.name == "key"
+    assert lo == 0x5000
+    assert hi == 0x6000
+
+
+def test_last_symbol_extent_is_one_word():
+    program = assemble(
+        "#@secret key\n    halt\n    .data\nkey: .dword 1\n"
+    )
+    contract = LeakageContract.from_program(program)
+    (lo, hi, _source) = contract.secret_ranges(program)[0]
+    assert hi == lo + WORD
+
+
+def test_no_pragmas_means_empty_contract():
+    program = assemble("    halt\n")
+    contract = LeakageContract.from_program(program)
+    assert contract.secrets == ()
+    assert contract.secret_registers() == frozenset()

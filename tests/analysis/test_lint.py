@@ -1,0 +1,161 @@
+"""The invariant linter: each rule against bad fixtures, allowlists,
+waivers, and a clean run over the shipped tree."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import LINT_RULES, lint_source, run_lint
+
+
+def rules_hit(source: str, path: str = "repro/attacks/example.py"):
+    return [finding.rule for finding in lint_source(source, path=path)]
+
+
+class TestFacadeTLBConstruction:
+    def test_direct_construction_is_flagged(self):
+        source = "tlb = SetAssociativeTLB(config)\n"
+        assert rules_hit(source) == ["facade-tlb-construction"]
+
+    def test_every_design_class_is_guarded(self):
+        for name in (
+            "SetAssociativeTLB",
+            "StaticPartitionTLB",
+            "RandomFillTLB",
+            "DynamicPartitionTLB",
+            "TwoLevelTLB",
+        ):
+            assert rules_hit(f"x = {name}(config)\n"), name
+
+    def test_construction_inside_repro_tlb_is_allowed(self):
+        source = "tlb = SetAssociativeTLB(config)\n"
+        assert rules_hit(source, path="repro/tlb/factory.py") == []
+
+    def test_the_registered_factory_module_is_allowed(self):
+        source = "tlb = RandomFillTLB(config)\n"
+        assert rules_hit(source, path="repro/security/kinds.py") == []
+
+    def test_factory_calls_are_not_flagged(self):
+        source = "tlb = make_tlb(TLBKind.SA, config)\n"
+        assert rules_hit(source) == []
+
+
+class TestFacadeWalkerConstruction:
+    def test_direct_construction_is_flagged(self):
+        source = "walker = PageTableWalker(auto_map=True)\n"
+        assert rules_hit(source) == ["facade-walker-construction"]
+
+    def test_repro_mmu_and_the_memory_system_are_allowed(self):
+        source = "walker = PageTableWalker()\n"
+        assert rules_hit(source, path="repro/mmu/walker.py") == []
+        assert rules_hit(source, path="repro/sim/system.py") == []
+
+
+class TestDeterministicSim:
+    def test_global_random_calls_are_flagged(self):
+        assert rules_hit("x = random.random()\n") == ["deterministic-sim"]
+        assert rules_hit("x = random.choice(items)\n") == [
+            "deterministic-sim"
+        ]
+
+    def test_wall_clock_reads_are_flagged(self):
+        assert rules_hit("t = time.time()\n") == ["deterministic-sim"]
+        assert rules_hit("t = time.perf_counter()\n") == [
+            "deterministic-sim"
+        ]
+        assert rules_hit("t = datetime.now()\n") == ["deterministic-sim"]
+
+    def test_seedless_random_instance_is_flagged(self):
+        assert rules_hit("rng = random.Random()\n") == ["deterministic-sim"]
+        assert rules_hit("rng = Random()\n") == ["deterministic-sim"]
+
+    def test_seeded_random_instance_is_fine(self):
+        assert rules_hit("rng = random.Random(7)\n") == []
+
+    def test_bound_rng_methods_are_fine(self):
+        assert rules_hit("x = rng.random()\n") == []
+
+    def test_the_runner_layer_is_exempt(self):
+        source = "t = time.time()\n"
+        assert rules_hit(source, path="repro/runner/telemetry.py") == []
+
+
+class TestFrozenEventDataclasses:
+    def test_unfrozen_event_dataclass_is_flagged(self):
+        source = (
+            "@dataclass\n"
+            "class AccessEvent:\n"
+            "    vpn: int\n"
+        )
+        assert rules_hit(source) == ["frozen-event-dataclasses"]
+
+    def test_frozen_event_dataclass_is_fine(self):
+        source = (
+            "@dataclass(frozen=True)\n"
+            "class AccessEvent:\n"
+            "    vpn: int\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_non_dataclass_event_class_is_ignored(self):
+        source = "class FakeEvent:\n    pass\n"
+        assert rules_hit(source) == []
+
+
+class TestNoSnapshotMutation:
+    def test_assignment_into_a_snapshot_is_flagged(self):
+        source = "tlb.stats.snapshot().misses = 0\n"
+        assert rules_hit(source) == ["no-snapshot-mutation"]
+
+    def test_subscript_assignment_into_entries_is_flagged(self):
+        source = "tlb.entries()[0].vpn = 0xDEAD\n"
+        assert "no-snapshot-mutation" in rules_hit(source)
+
+    def test_mutator_call_on_a_snapshot_is_flagged(self):
+        source = "tlb.entries()[0].invalidate()\n"
+        assert rules_hit(source) == ["no-snapshot-mutation"]
+
+    def test_mutating_live_state_is_fine(self):
+        assert rules_hit("entry.invalidate()\n") == []
+        assert rules_hit("snapshot = tlb.entries()\n") == []
+
+
+class TestWaivers:
+    def test_a_matching_waiver_suppresses_the_finding(self):
+        source = (
+            "tlb = SetAssociativeTLB(config)"
+            "  # invariant: allow facade-tlb-construction\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_a_waiver_for_another_rule_does_not(self):
+        source = (
+            "tlb = SetAssociativeTLB(config)"
+            "  # invariant: allow deterministic-sim\n"
+        )
+        assert rules_hit(source) == ["facade-tlb-construction"]
+
+
+class TestRunLint:
+    def test_rule_registry_has_the_documented_names(self):
+        assert [rule.name for rule in LINT_RULES] == [
+            "facade-tlb-construction",
+            "facade-walker-construction",
+            "deterministic-sim",
+            "frozen-event-dataclasses",
+            "no-snapshot-mutation",
+        ]
+
+    def test_the_shipped_tree_is_clean(self):
+        package_root = Path(repro.__file__).parent
+        assert run_lint([package_root]) == []
+
+    def test_findings_are_sorted_and_described(self):
+        source = (
+            "walker = PageTableWalker()\n"
+            "tlb = SetAssociativeTLB(config)\n"
+        )
+        findings = lint_source(source, path="repro/attacks/example.py")
+        assert [f.line for f in findings] == [1, 2]
+        assert "example.py:1" in findings[0].describe()

@@ -1,0 +1,201 @@
+"""Taint propagation per instruction class and the sink scan."""
+
+from __future__ import annotations
+
+from repro.analysis.taint import TaintAnalysis, analyze_program
+from repro.isa import assemble
+
+KEY_DATA = """\
+    .data
+    .org 0x5000
+key: .dword 0x1234
+    .org 0x6000
+scratch: .dword 0
+"""
+
+
+def report_for(source: str):
+    return analyze_program(assemble(source))
+
+
+def states_for(source: str):
+    analysis = TaintAnalysis(program=assemble(source))
+    return analysis, analysis.solve()
+
+
+class TestTransfer:
+    def test_load_from_secret_range_taints_the_destination(self):
+        _analysis, states = states_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    halt\n" + KEY_DATA
+        )
+        state = states[2]  # after the load
+        assert state.reg_taint[2].sources == frozenset({"symbol:key"})
+        assert not state.reg_taint[1]
+
+    def test_li_and_la_clear_taint(self):
+        _analysis, states = states_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    li x2, 7\n"
+            "    halt\n" + KEY_DATA
+        )
+        # states[2] is the IN-state of the li: the load's taint is live.
+        assert states[2].reg_taint[2]
+        assert states[2].reg_value[2] is None  # loaded data is unknown
+        # After the li, the register is an untainted known constant.
+        assert not states[3].reg_taint[2]
+        assert states[3].reg_value[2] == 7
+        # la yields the known symbol address.
+        assert states[1].reg_value[1] == 0x5000
+
+    def test_mv_and_alu_propagate_taint(self):
+        _analysis, states = states_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    mv x3, x2\n"
+            "    add x4, x3, x1\n"
+            "    srli x5, x4, 3\n"
+            "    halt\n" + KEY_DATA
+        )
+        state = states[5]
+        for register in (3, 4, 5):
+            assert state.reg_taint[register].sources == frozenset(
+                {"symbol:key"}
+            )
+
+    def test_sub_and_xor_of_a_register_with_itself_clear_taint(self):
+        _analysis, states = states_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    sub x3, x2, x2\n"
+            "    xor x4, x2, x2\n"
+            "    halt\n" + KEY_DATA
+        )
+        state = states[4]
+        assert not state.reg_taint[3] and state.reg_value[3] == 0
+        assert not state.reg_taint[4] and state.reg_value[4] == 0
+
+    def test_store_then_load_propagates_taint_through_memory(self):
+        _analysis, states = states_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    la x3, scratch\n"
+            "    sd x2, 0(x3)\n"
+            "    ld x4, 0(x3)\n"
+            "    halt\n" + KEY_DATA
+        )
+        assert states[5].reg_taint[4].sources == frozenset({"symbol:key"})
+
+    def test_csrr_of_a_secret_csr_taints(self):
+        _analysis, states = states_for(
+            "#@secret csr:process_id\n"
+            "    csrr x2, process_id\n"
+            "    halt\n"
+        )
+        assert states[1].reg_taint[2].sources == frozenset(
+            {"csr:process_id"}
+        )
+
+    def test_taint_survives_a_control_flow_join(self):
+        _analysis, states = states_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    beq x4, zero, other\n"
+            "    mv x5, x2\n"
+            "    j join\n"
+            "other:\n"
+            "    li x5, 1\n"
+            "join:\n"
+            "    halt\n" + KEY_DATA
+        )
+        join_state = states[6]
+        assert join_state.reg_taint[5].sources == frozenset({"symbol:key"})
+        # The joined value is unknown: one arm gives a secret, one gives 1.
+        assert join_state.reg_value[5] is None
+
+
+class TestSinks:
+    def test_tainted_address_load_is_flagged(self):
+        report = report_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    ld x3, 0(x2)\n"
+            "    halt\n" + KEY_DATA
+        )
+        kinds = report.by_kind()
+        assert kinds.get("tainted-address") == 1
+        finding = next(
+            f for f in report.findings if f.kind == "tainted-address"
+        )
+        assert finding.pc == 2
+        assert finding.sources == ("symbol:key",)
+        assert finding.path[-1] == 2
+
+    def test_secret_branch_is_flagged(self):
+        report = report_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    beq x2, zero, out\n"
+            "out:\n"
+            "    halt\n" + KEY_DATA
+        )
+        assert report.by_kind().get("secret-branch") == 1
+
+    def test_branch_gated_access_is_the_tlbleed_shape(self):
+        report = report_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    beq x2, zero, out\n"
+            "    ld x3, 0(x1)\n"
+            "out:\n"
+            "    halt\n" + KEY_DATA
+        )
+        gated = [
+            f for f in report.findings if f.kind == "secret-dependent-access"
+        ]
+        assert len(gated) == 1
+        finding = gated[0]
+        assert finding.pc == 3
+        # The path runs source -> branch -> sink.
+        assert finding.path[-2:] == (2, 3)
+        assert finding.pages == (0x5,)  # key lives on page 0x5
+
+    def test_untainted_program_is_clean(self):
+        report = report_for(
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    beq x2, zero, out\n"
+            "    ld x3, 0(x1)\n"
+            "out:\n"
+            "    halt\n" + KEY_DATA
+        )
+        assert report.clean
+        assert report.by_kind() == {}
+
+    def test_killed_taint_produces_no_finding(self):
+        report = report_for(
+            "#@secret key\n"
+            "    la x1, key\n"
+            "    ld x2, 0(x1)\n"
+            "    sub x3, x2, x2\n"
+            "    beq x3, zero, out\n"
+            "out:\n"
+            "    halt\n" + KEY_DATA
+        )
+        assert report.clean
+
+    def test_report_counts_reachable_instructions(self):
+        report = report_for("    halt\n    li x1, 1\n")
+        assert report.instructions == 2
+        assert report.reachable == 1

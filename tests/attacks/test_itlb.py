@@ -1,6 +1,5 @@
 """Tests for the instruction-TLB channel and libgcrypt's hardening."""
 
-import pytest
 
 from repro.attacks import itlb_attack, tlbleed_attack
 from repro.security.kinds import TLBKind

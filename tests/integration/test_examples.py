@@ -3,7 +3,6 @@
 import pathlib
 import py_compile
 import runpy
-import sys
 
 import pytest
 

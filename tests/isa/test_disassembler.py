@@ -1,6 +1,5 @@
 """Round-trip tests for the disassembler."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import assemble

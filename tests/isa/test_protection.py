@@ -3,7 +3,7 @@
 import pytest
 
 from repro.isa import CPU, Memory, ProtectionFault, assemble
-from repro.mmu import PageTable, PageTableWalker, Permission
+from repro.mmu import PageTableWalker, Permission
 from repro.tlb import SetAssociativeTLB, TLBConfig
 
 KERNEL_VPN = 0x80
@@ -60,7 +60,7 @@ class TestProtectionFaults:
         cpu.load(
             assemble("la x1, v\nldnorm x2, 0(x1)\nhalt\n.data\nv: .dword 5")
         )
-        result = cpu.run()
+        cpu.run()
         assert cpu.registers[2] == 5
 
     def test_enforcement_is_opt_in(self):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.mmu import PageTableWalker, Permission, SwitchPolicy, ToyOS
+from repro.mmu import PageTableWalker, SwitchPolicy, ToyOS
 from repro.tlb import SetAssociativeTLB, TLBConfig
 
 

@@ -1,6 +1,5 @@
 """Tests for the mechanized effectiveness analysis (the heart of Table 2)."""
 
-import pytest
 
 from repro.model.effectiveness import (
     MAPPED_RELATIONS,
@@ -19,7 +18,6 @@ from repro.model.states import (
     STAR,
     V_A,
     V_D,
-    V_INV,
     V_U,
 )
 from repro.model.table2 import table2_vulnerabilities

@@ -1,6 +1,5 @@
 """Tests for the Appendix B extended model (Tables 6 and 7)."""
 
-from collections import Counter
 
 from repro.model.effectiveness import analyze
 from repro.model.extended import (
@@ -14,9 +13,7 @@ from repro.model.states import (
     A_A,
     A_A_INV,
     A_D,
-    V_A,
     V_A_INV,
-    V_D,
     V_U,
     V_U_INV,
 )

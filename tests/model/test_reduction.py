@@ -1,6 +1,5 @@
 """Unit tests for the symbolic reduction rules of Section 3.3."""
 
-import pytest
 
 from repro.model.patterns import ThreeStepPattern
 from repro.model.reduction import (
@@ -24,7 +23,6 @@ from repro.model.states import (
     EXTENDED_STATES,
     STAR,
     V_A,
-    V_D,
     V_U,
     V_U_INV,
 )

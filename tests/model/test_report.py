@@ -5,7 +5,7 @@ import pytest
 from repro.model import derivation_report, explain
 from repro.model.effectiveness import Relation, trace_pattern
 from repro.model.patterns import ThreeStepPattern
-from repro.model.states import A_A, A_D, STAR, V_A, V_U
+from repro.model.states import A_A, A_D, STAR, V_U
 from repro.model.table2 import table2_vulnerabilities
 
 

@@ -1,6 +1,5 @@
 """Tests for Appendix A's Algorithm 1 (beta-step pattern reduction)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.model import soundness

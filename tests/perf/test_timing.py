@@ -1,10 +1,9 @@
 """Tests for the trace-driven timing model and the scheduler."""
 
-import random
 
 import pytest
 
-from repro.mmu import PageTableWalker, SwitchPolicy
+from repro.mmu import SwitchPolicy
 from repro.perf.timing import PerfResult, ScheduledProcess, simulate
 from repro.tlb import SetAssociativeTLB, TLBConfig
 

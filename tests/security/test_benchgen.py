@@ -10,7 +10,6 @@ from repro.model.states import (
     A_D,
     A_INV,
     V_A,
-    V_D,
     V_U,
 )
 from repro.model.table2 import table2_vulnerabilities

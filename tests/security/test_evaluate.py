@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.model.patterns import Observation, Strategy, ThreeStepPattern, Vulnerability
-from repro.model.states import A_A, A_D, V_A, V_D, V_U
+from repro.model.patterns import Observation, ThreeStepPattern, Vulnerability
+from repro.model.states import A_D, V_A, V_U
 from repro.model.table2 import table2_vulnerabilities
 from repro.security import (
     EvaluationConfig,

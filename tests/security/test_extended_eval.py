@@ -11,7 +11,7 @@ randomized.
 
 import pytest
 
-from repro.model.extended import invalidation_only_vulnerabilities, strategy_label
+from repro.model.extended import strategy_label
 from repro.security import EvaluationConfig, SecurityEvaluator, TLBKind
 
 TRIALS = 30

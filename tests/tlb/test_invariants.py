@@ -15,7 +15,7 @@ import random
 
 import pytest
 
-from repro.security.kinds import TLBKind, make_tlb
+from repro.security.kinds import TLBKind, make_tlb, make_two_level_tlb
 from repro.tlb import TLBConfig
 from repro.tlb.base import BaseTLB, IdentityTranslator
 from repro.tlb.entry import TLBEntry
@@ -152,3 +152,137 @@ def test_stats_snapshot_isolation() -> None:
     assert tlb.stats.accesses == 3 and tlb.stats.hits == 1
     before.misses_by_asid[9] = 99
     assert 9 not in tlb.stats.misses_by_asid
+
+
+# -- two-level hierarchy flush/sfence invariants --------------------------------
+
+
+def build_hierarchy(l1_kind: str = "SA", l2_kind: str = "SA"):
+    """A small L1 over a bigger L2 so L1 evictions leave L2 residue."""
+    return make_two_level_tlb(
+        TLBKind[l1_kind],
+        TLBKind[l2_kind],
+        TLBConfig(entries=4, ways=2),
+        TLBConfig(entries=32, ways=8),
+        victim_asid=VICTIM_ASID,
+        rng=random.Random(7),
+    )
+
+
+def spill_l1(tlb, translator, asid: int) -> int:
+    """Touch enough same-set pages that one falls out of the L1 only."""
+    nsets = tlb.l1.config.sets
+    pages = [0x200 + i * nsets for i in range(tlb.l1.config.ways + 1)]
+    for vpn in pages:
+        tlb.translate(vpn, asid, translator)
+    spilled = pages[0]
+    assert not tlb.l1.resident(spilled, asid)
+    assert tlb.l2.resident(spilled, asid)
+    return spilled
+
+
+def test_hierarchy_flush_all_clears_both_levels() -> None:
+    tlb = build_hierarchy()
+    translator = IdentityTranslator()
+    spill_l1(tlb, translator, VICTIM_ASID)
+    tlb.flush_all()
+    assert tlb.l1.occupancy() == 0
+    assert tlb.l2.occupancy() == 0
+
+
+def test_hierarchy_flush_asid_is_surgical_in_both_levels() -> None:
+    tlb = build_hierarchy()
+    translator = IdentityTranslator()
+    spilled = spill_l1(tlb, translator, VICTIM_ASID)
+    tlb.translate(0x300, OTHER_ASID, translator)
+
+    tlb.flush_asid(VICTIM_ASID)
+
+    assert not tlb.resident(spilled, VICTIM_ASID)
+    for level in (tlb.l1, tlb.l2):
+        assert not any(
+            entry.asid == VICTIM_ASID for entry in level.entries()
+        )
+    assert tlb.resident(0x300, OTHER_ASID)
+
+
+def test_hierarchy_invalidate_page_reaches_an_l2_only_entry() -> None:
+    """The page evicted from the L1 still hits the invalidation in the L2."""
+    tlb = build_hierarchy()
+    translator = IdentityTranslator()
+    spilled = spill_l1(tlb, translator, VICTIM_ASID)
+
+    result = tlb.invalidate_page(spilled, VICTIM_ASID)
+
+    assert result.hit
+    assert not tlb.resident(spilled, VICTIM_ASID)
+    # A second invalidation finds nothing in either level.
+    assert tlb.invalidate_page(spilled, VICTIM_ASID).miss
+
+
+def test_hierarchy_sfence_vma_flushes_both_levels() -> None:
+    """A bare ``sfence.vma`` through the CPU empties the whole hierarchy."""
+    from repro.isa import assemble
+    from repro.isa.cpu import CPU
+    from repro.mmu import make_walker
+
+    tlb = build_hierarchy()
+    cpu = CPU(tlb=tlb, translator=make_walker())
+    cpu.load(
+        assemble(
+            "    la x1, v\n"
+            "    ld x2, 0(x1)\n"
+            "    sfence.vma\n"
+            "    halt\n"
+            "    .data\n"
+            "v: .dword 5\n"
+        )
+    )
+    cpu.run()
+    assert cpu.registers[2] == 5
+    assert tlb.l1.occupancy() == 0
+    assert tlb.l2.occupancy() == 0
+
+
+def test_hierarchy_targeted_sfence_leaves_other_pages_resident() -> None:
+    """``sfence.vma rs1`` invalidates one page in both levels, no more."""
+    from repro.isa import assemble
+    from repro.isa.cpu import CPU
+    from repro.mmu import make_walker
+
+    tlb = build_hierarchy()
+    cpu = CPU(tlb=tlb, translator=make_walker())
+    cpu.load(
+        assemble(
+            "    la x1, v\n"
+            "    la x2, w\n"
+            "    ld x3, 0(x1)\n"
+            "    ld x4, 0(x2)\n"
+            "    sfence.vma x1\n"
+            "    halt\n"
+            "    .data\n"
+            "    .org 0x4000\n"
+            "v: .dword 5\n"
+            "    .org 0x5000\n"
+            "w: .dword 6\n"
+        )
+    )
+    cpu.run()
+    asid = cpu.asid
+    assert not tlb.resident(0x4, asid)
+    assert tlb.resident(0x5, asid)
+
+
+def test_hierarchy_protected_l1_flushes_still_reach_the_l2() -> None:
+    """An RF L1 over a standard L2: flushes must clear the L2 footprint
+    (the L2 residue is exactly what the hierarchy ablation attacks)."""
+    tlb = build_hierarchy("RF", "SA")
+    tlb.set_secure_region(0x200, 8, victim_asid=VICTIM_ASID)
+    translator = IdentityTranslator()
+    tlb.translate(0x201, VICTIM_ASID, translator)
+    assert tlb.l2.resident(0x201, VICTIM_ASID)
+
+    tlb.flush_asid(VICTIM_ASID)
+
+    assert not tlb.l2.resident(0x201, VICTIM_ASID)
+    assert not tlb.resident(0x201, VICTIM_ASID)

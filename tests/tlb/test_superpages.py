@@ -1,6 +1,5 @@
 """Property tests for mixed 4 KiB / superpage TLB behaviour."""
 
-import random
 
 import pytest
 from hypothesis import given, settings, strategies as st
