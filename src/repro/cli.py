@@ -265,6 +265,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         log_path=args.log,
         progress=not args.quiet,
         max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
     )
     print(
         f"{report.completed}/{report.units_total} cells ok"
@@ -277,7 +278,37 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         print(f"artifacts: {', '.join(report.artifacts)}")
     if report.failed:
         print(f"FAILED: {', '.join(report.failed)}")
+    if report.interrupted:
+        print(
+            f"interrupted: {report.completed}/{report.units_total} cells"
+            " done; rerun with the same cache to resume"
+        )
+        return 130
     return 0 if report.ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults import run_campaigns
+
+    def run(workdir: Path) -> int:
+        reports = run_campaigns(
+            args.campaign, workdir, seed=args.seed, design=args.design
+        )
+        if args.json:
+            payload = [report.to_dict() for report in reports]
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print("\n\n".join(report.to_text() for report in reports))
+        return 0 if all(report.ok for report in reports) else 1
+
+    if args.workdir is not None:
+        return run(Path(args.workdir))
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        return run(Path(tmp))
 
 
 def _add_design_argument(parser: argparse.ArgumentParser) -> None:
@@ -424,9 +455,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="retries per cell before marking it failed (default: 2)",
     )
     run_all.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-cell wall-clock watchdog: kill and requeue any cell"
+            " running longer than this (default: off)"
+        ),
+    )
+    run_all.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     run_all.set_defaults(func=_cmd_run_all)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="fault-injection campaigns: prove every fault class is caught",
+        description=(
+            "Inject seeded faults into the simulator (TLB bit flips,"
+            " dropped flushes, walk jitter, spurious evictions) and the"
+            " runner (hung/crashing/lying workers, torn cache entries,"
+            " poison cells), then verify each is caught by a detector or"
+            " recovered by the hardening machinery.  Exits nonzero on any"
+            " silent fault."
+        ),
+    )
+    chaos.add_argument(
+        "campaign", choices=["sim", "runner", "all"],
+        help="which layer's campaign to run",
+    )
+    chaos.add_argument("--seed", type=int, default=2019)
+    chaos.add_argument(
+        "--design", choices=["SA", "SP", "RF"], default="SA",
+        help="TLB design under the sim campaign (default: SA)",
+    )
+    chaos.add_argument(
+        "--json", action="store_true",
+        help="emit the detection matrix as JSON instead of text",
+    )
+    chaos.add_argument(
+        "--workdir", default=None, metavar="DIR",
+        help=(
+            "where the runner campaign keeps its scratch results/caches"
+            " (default: a temporary directory)"
+        ),
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     from repro.analysis.cli import add_analyze_parser
 

@@ -1,0 +1,419 @@
+"""Chaos campaigns: inject every fault class, prove each one is caught.
+
+Two campaigns mirror the package's two layers:
+
+* :func:`run_sim_campaign` arms each sim-layer fault of a
+  :class:`~repro.faults.plan.FaultPlan` against a fresh
+  :class:`repro.sim.MemorySystem` running a fixed deterministic workload,
+  with the full :class:`~repro.faults.detectors.DetectorSuite` attached.
+  The product is a *detection matrix*: fault class x detectors that fired.
+  A fault no detector reports is a **silent fault** -- the campaign's
+  failure condition, gating CI.
+
+* :func:`run_runner_campaign` aims each runner-layer fault mode at a
+  cheap probe experiment executed through the real ``run_all`` stack
+  (worker processes, cache, artifacts) and checks the matching hardening
+  mechanism engaged *and* the final artifacts are byte-identical to a
+  clean run's (or, for poison cells, that the run quarantined them and
+  reported partially).
+
+Runner imports happen lazily inside the functions: the scheduler imports
+:mod:`repro.faults.chaos`, so a module-level import here would cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.mmu.walker import make_walker
+from repro.sim.system import MemorySystem
+
+from .detectors import DetectorSuite
+from .injector import SimFaultInjector
+from .plan import (
+    RUNNER_FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    default_runner_plan,
+    default_sim_plan,
+)
+
+#: The probe experiment the runner campaign schedules.
+PROBE_EXPERIMENT = "chaos-probe"
+
+
+@dataclass
+class CampaignRow:
+    """One fault class's outcome in the detection matrix."""
+
+    kind: str
+    layer: str
+    #: How many faults were actually injected (0 = the spec never fired).
+    injections: int
+    #: Detectors (sim) or hardening mechanisms (runner) that caught it.
+    detected_by: Tuple[str, ...]
+    #: Human-readable evidence: injection details and violation messages.
+    evidence: List[str] = field(default_factory=list)
+
+    @property
+    def silent(self) -> bool:
+        """Injected but caught by nothing: the failure condition."""
+        return self.injections > 0 and not self.detected_by
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "layer": self.layer,
+            "injections": self.injections,
+            "detected_by": list(self.detected_by),
+            "silent": self.silent,
+            "evidence": self.evidence,
+        }
+
+
+@dataclass
+class CampaignReport:
+    """A campaign's detection matrix plus its clean-baseline check."""
+
+    name: str
+    seed: int
+    rows: List[CampaignRow] = field(default_factory=list)
+    #: Detector violations from the fault-free baseline run (must be []).
+    baseline_violations: List[str] = field(default_factory=list)
+
+    @property
+    def silent_faults(self) -> List[str]:
+        return [row.kind for row in self.rows if row.silent]
+
+    @property
+    def not_injected(self) -> List[str]:
+        return [row.kind for row in self.rows if row.injections == 0]
+
+    @property
+    def ok(self) -> bool:
+        """Every fault injected and caught, with no false positives."""
+        return (
+            not self.silent_faults
+            and not self.not_injected
+            and not self.baseline_violations
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "ok": self.ok,
+            "silent_faults": self.silent_faults,
+            "not_injected": self.not_injected,
+            "baseline_violations": self.baseline_violations,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def to_text(self) -> str:
+        """The detection matrix as an aligned console table."""
+        lines = [f"chaos campaign: {self.name} (seed {self.seed})", ""]
+        width = max((len(row.kind) for row in self.rows), default=4)
+        header = f"{'fault':<{width}}  inj  detected by"
+        lines += [header, "-" * len(header)]
+        for row in self.rows:
+            caught = ", ".join(row.detected_by) if row.detected_by else (
+                "SILENT" if row.injections else "not injected"
+            )
+            lines.append(f"{row.kind:<{width}}  {row.injections:>3}  {caught}")
+        lines.append("")
+        if self.baseline_violations:
+            lines.append("baseline (no faults) FALSE POSITIVES:")
+            lines += [f"  {v}" for v in self.baseline_violations]
+        else:
+            lines.append("baseline (no faults): clean")
+        lines.append(f"verdict: {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+# -- the sim-layer campaign ---------------------------------------------------
+
+
+def build_campaign_memory(design: str = "SA", seed: int = 2019) -> MemorySystem:
+    """A fresh memory system sized so the workload causes no evictions.
+
+    Capacity evictions would let a later fill displace the corrupted
+    entry -- with a perfectly legal ``EvictEvent`` -- and erase the
+    evidence before the final audit.  128 entries / 8 ways leave slack for
+    the workload's ~40 distinct pages even when the SP design halves each
+    set's ways per partition and the RF design adds random fills.
+    """
+    import random
+
+    from repro.security.kinds import TLBKind, make_tlb
+    from repro.tlb.config import TLBConfig
+
+    kind = TLBKind(design.upper())
+    config = TLBConfig(entries=128, ways=8)
+    tlb = make_tlb(kind, config, rng=random.Random(seed))
+    memory = MemorySystem(tlb, walker=make_walker())
+    if kind is TLBKind.RF:
+        memory.set_secure_region(0x200, 0x10, victim_asid=1)
+    return memory
+
+
+def drive_workload(memory: MemorySystem) -> None:
+    """The fixed campaign workload (two ASIDs, flushes, refills).
+
+    Structured so every default trigger lands on prepared ground: both
+    flushes happen by translation ~32 (so translation-triggered faults at
+    40 corrupt state no later flush legitimately removes), the second
+    flush is the drop-flush target (stale entries exist to survive it),
+    and 48 page-table walks cover the walk-jitter trigger.
+    """
+    memory.context_switch(0)
+    for vpn in range(0x100, 0x110):
+        memory.translate(vpn, 0)
+    memory.context_switch(1)
+    for vpn in range(0x200, 0x208):
+        memory.translate(vpn, 1)
+    memory.flush_asid(1)  # maintenance op 1: performed
+    for vpn in range(0x200, 0x208):
+        memory.translate(vpn, 1)  # refill after the flush
+    memory.flush_asid(1)  # maintenance op 2: the drop-flush target
+    memory.context_switch(0)
+    for vpn in range(0x100, 0x110):
+        memory.translate(vpn, 0)  # hits; crosses the bit-flip trigger
+    for vpn in range(0x110, 0x130):
+        memory.translate(vpn, 0)  # fresh walks; crosses the jitter trigger
+
+
+def run_sim_campaign(
+    plan: Optional[FaultPlan] = None,
+    design: str = "SA",
+    seed: int = 2019,
+) -> CampaignReport:
+    """Inject each sim-layer fault of ``plan`` into its own fresh run."""
+    plan = plan if plan is not None else default_sim_plan(seed)
+    relaxed = design.upper() == "RF"
+    report = CampaignReport(name=f"sim/{design.upper()}", seed=plan.seed)
+
+    # Fault-free baseline: the detectors must stay quiet on a clean run.
+    baseline = build_campaign_memory(design, plan.seed)
+    suite = DetectorSuite.standard(baseline, strict_shadow=not relaxed)
+    drive_workload(baseline)
+    for name, violations in suite.finish().items():
+        report.baseline_violations += [f"{name}: {v}" for v in violations]
+
+    for index, spec in enumerate(plan.specs):
+        if spec.layer != "sim":
+            continue
+        memory = build_campaign_memory(design, plan.seed)
+        suite = DetectorSuite.standard(memory, strict_shadow=not relaxed)
+        injector = SimFaultInjector(
+            memory=memory, spec=spec, rng=plan.rng_for(index)
+        ).arm()
+        drive_workload(memory)
+        fired = suite.finish()
+        evidence = [fault.detail for fault in injector.injected]
+        for name, violations in fired.items():
+            evidence += [f"{name}: {v}" for v in violations[:3]]
+        report.rows.append(
+            CampaignRow(
+                kind=spec.kind,
+                layer="sim",
+                injections=len(injector.injected),
+                detected_by=tuple(sorted(fired)),
+                evidence=evidence,
+            )
+        )
+    return report
+
+
+# -- the runner-layer campaign ------------------------------------------------
+
+
+def ensure_probe_experiment() -> None:
+    """Register the campaign's cheap probe experiment (idempotent).
+
+    Inert in normal runs: it enumerates no cells unless the
+    ``chaos_probe_cells`` option is set, exactly like the test-only toy
+    experiments.  Worker processes inherit the registration via fork.
+    """
+    from repro.runner.registry import REGISTRY, Experiment, register
+
+    if PROBE_EXPERIMENT in REGISTRY:
+        return
+
+    @register(PROBE_EXPERIMENT)
+    class ChaosProbe(Experiment):
+        def units(self, options):
+            cells = int(options.get("chaos_probe_cells", 0) or 0)
+            return [
+                self.unit(f"cell-{index:02d}", index=index)
+                for index in range(cells)
+            ]
+
+        @staticmethod
+        def run(params):
+            index = params["index"]
+            return {"index": index, "value": (index * 2654435761) % 1000003}
+
+        def assemble(self, values, options):
+            return values
+
+
+def _artifact_bytes(results_dir: Path) -> Dict[str, bytes]:
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(Path(results_dir).glob("*.json"))
+        if path.name != "failed_cells.json"
+    }
+
+
+def run_runner_campaign(
+    workdir: Path | str,
+    plan: Optional[FaultPlan] = None,
+    seed: int = 2019,
+    cells: int = 6,
+    jobs: int = 2,
+    task_timeout: float = 2.0,
+) -> CampaignReport:
+    """Aim each runner fault mode at the probe cells through ``run_all``."""
+    from repro.faults.chaos import ChaosConfig
+    from repro.runner.api import run_all
+
+    plan = plan if plan is not None else default_runner_plan(seed)
+    kinds = [
+        spec.kind for spec in plan.specs if spec.kind in RUNNER_FAULT_KINDS
+    ]
+    workdir = Path(workdir)
+    report = CampaignReport(name="runner", seed=plan.seed)
+    ensure_probe_experiment()
+
+    common: Dict[str, Any] = dict(
+        jobs=jobs,
+        filters=[f"{PROBE_EXPERIMENT}/*"],
+        options={"chaos_probe_cells": cells},
+        progress=False,
+    )
+
+    # Clean reference run: the artifact bytes every chaotic run must match.
+    clean_dir = workdir / "clean"
+    clean_report = run_all(
+        results_dir=clean_dir, cache_dir=workdir / "clean-cache", **common
+    )
+    if not clean_report.ok:
+        report.baseline_violations.append(
+            f"clean run failed: {clean_report.failed}"
+        )
+    reference = _artifact_bytes(clean_dir)
+    if not reference:
+        report.baseline_violations.append("clean run produced no artifacts")
+
+    chaos_seed = plan.seed
+    for kind in kinds:
+        results_dir = workdir / kind
+        cache_dir = workdir / f"{kind}-cache"
+        detected: List[str] = []
+        evidence: List[str] = []
+        injections = 0
+
+        if kind == "torn-cache":
+            # Populate the cache, tear one entry mid-write, rerun: the
+            # checksum/atomic-read path must spot the torn file, recompute
+            # the cell, and still converge to the reference artifacts.
+            run_all(results_dir=results_dir, cache_dir=cache_dir, **common)
+            torn = sorted(Path(cache_dir).rglob("*.pkl"))
+            if torn:
+                victim = torn[len(torn) // 2]
+                blob = victim.read_bytes()
+                victim.write_bytes(blob[: max(1, len(blob) // 2)])
+                injections = 1
+                evidence.append(f"truncated {victim.name}")
+            rerun = run_all(
+                results_dir=results_dir, cache_dir=cache_dir, **common
+            )
+            if rerun.cache_corrupt:
+                detected.append("cache-checksum")
+                evidence.append(
+                    f"{rerun.cache_corrupt} torn entries recomputed"
+                )
+            if rerun.ok and _artifact_bytes(results_dir) == reference:
+                detected.append("artifact-match")
+        elif kind == "poison":
+            poisoned = f"{PROBE_EXPERIMENT}/cell-00"
+            chaos = ChaosConfig(
+                seed=chaos_seed, modes=(), poison_idents=(poisoned,)
+            )
+            injections = 1
+            evidence.append(f"poisoned {poisoned}")
+            outcome = run_all(
+                results_dir=results_dir,
+                cache_dir=cache_dir,
+                chaos=chaos,
+                **common,
+            )
+            quarantined = (
+                not outcome.ok
+                and poisoned in outcome.failed
+                and outcome.completed == cells - 1
+                and (results_dir / "failed_cells.json").is_file()
+            )
+            if quarantined:
+                detected.append("quarantine")
+                evidence.append(
+                    f"failed-cell manifest written, {outcome.completed}"
+                    f"/{cells} healthy cells completed"
+                )
+        else:
+            mode_map = {
+                "hang": ("watchdog", "watchdog_kills"),
+                "crash": ("crash-retry", "worker_crashes"),
+                "corrupt-result": ("integrity-envelope", "corrupt_results"),
+            }
+            mechanism, counter = mode_map[kind]
+            chaos = ChaosConfig(
+                seed=chaos_seed,
+                modes=(kind,),
+                rate=1.0,
+                hang_seconds=task_timeout * 30,
+            )
+            outcome = run_all(
+                results_dir=results_dir,
+                cache_dir=cache_dir,
+                chaos=chaos,
+                task_timeout=(task_timeout if kind == "hang" else None),
+                **common,
+            )
+            engaged = getattr(outcome, counter)
+            injections = cells  # rate=1.0 targets every first attempt
+            if engaged:
+                detected.append(mechanism)
+                evidence.append(f"{counter}={engaged}")
+            if outcome.ok and _artifact_bytes(results_dir) == reference:
+                detected.append("artifact-match")
+            elif not outcome.ok:
+                evidence.append(f"run not ok: failed={outcome.failed}")
+
+        report.rows.append(
+            CampaignRow(
+                kind=kind,
+                layer="runner",
+                injections=injections,
+                detected_by=tuple(detected),
+                evidence=evidence,
+            )
+        )
+    return report
+
+
+def run_campaigns(
+    which: str,
+    workdir: Path | str,
+    seed: int = 2019,
+    design: str = "SA",
+) -> List[CampaignReport]:
+    """The CLI's entry: ``sim``, ``runner`` or ``all`` campaigns."""
+    reports: List[CampaignReport] = []
+    if which in ("sim", "all"):
+        reports.append(run_sim_campaign(design=design, seed=seed))
+    if which in ("runner", "all"):
+        reports.append(run_runner_campaign(Path(workdir), seed=seed))
+    return reports

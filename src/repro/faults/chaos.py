@@ -1,0 +1,98 @@
+"""Runner-layer chaos: deterministic worker misbehaviour decisions.
+
+A :class:`ChaosConfig` tells the scheduler's worker processes when to
+misbehave and how.  Decisions are a pure function of
+``(seed, cell identity, attempt)`` via CRC32 -- the same process-stable
+hashing as :func:`repro.runner.registry.stable_seed` -- so a chaos run
+replays identically across processes, machines and resumes, and the
+property tests can assert that a chaotic run converges to the *same
+artifacts* as a clean one.
+
+This module is imported by :mod:`repro.runner.scheduler` and therefore
+stays free of simulator imports (stdlib only) to keep the package graph
+acyclic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: Worker-side fault modes the scheduler implements.
+WORKER_FAULT_MODES: Tuple[str, ...] = ("hang", "crash", "corrupt-result")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """When and how scheduler workers misbehave (deterministically).
+
+    ``modes`` lists the worker fault modes in play; each targeted
+    ``(ident, attempt)`` draws one of them by hash.  ``rate`` is the
+    fraction of cells targeted.  By default only first attempts misbehave
+    (``max_attempt=1``), so every fault is recoverable by a retry;
+    ``poison_idents`` lists cells that misbehave on *every* attempt and
+    must therefore exhaust retries and be quarantined.
+    """
+
+    seed: int = 2019
+    modes: Tuple[str, ...] = WORKER_FAULT_MODES
+    rate: float = 0.5
+    max_attempt: int = 1
+    #: How long a hung worker sleeps; must exceed the watchdog timeout.
+    hang_seconds: float = 60.0
+    poison_idents: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for mode in self.modes:
+            if mode not in WORKER_FAULT_MODES:
+                raise ValueError(
+                    f"unknown worker fault mode {mode!r};"
+                    f" known: {WORKER_FAULT_MODES}"
+                )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def fault_for(self, ident: str, attempt: int) -> Optional[str]:
+        """The fault mode for this cell attempt, or ``None`` for honesty."""
+        if ident in self.poison_idents:
+            return "poison"
+        if not self.modes or attempt > self.max_attempt:
+            return None
+        digest = zlib.crc32(f"{self.seed}/{ident}/{attempt}".encode())
+        if (digest % 10_000) / 10_000.0 >= self.rate:
+            return None
+        return self.modes[(digest >> 16) % len(self.modes)]
+
+    # -- serialization (for logs and the chaos CLI) ------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "modes": list(self.modes),
+            "rate": self.rate,
+            "max_attempt": self.max_attempt,
+            "hang_seconds": self.hang_seconds,
+            "poison_idents": list(self.poison_idents),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ChaosConfig":
+        return cls(
+            seed=int(payload.get("seed", 2019)),
+            modes=tuple(payload.get("modes", WORKER_FAULT_MODES)),
+            rate=float(payload.get("rate", 0.5)),
+            max_attempt=int(payload.get("max_attempt", 1)),
+            hang_seconds=float(payload.get("hang_seconds", 60.0)),
+            poison_idents=tuple(payload.get("poison_idents", ())),
+        )
+
+
+def default_chaos(seed: int = 2019, **overrides: Any) -> ChaosConfig:
+    """A chaos config misbehaving on half of all first attempts."""
+    payload: Dict[str, Any] = {"seed": seed}
+    payload.update(overrides)
+    return ChaosConfig.from_dict(payload)
+
+
+__all__ = ["WORKER_FAULT_MODES", "ChaosConfig", "default_chaos"]

@@ -1,0 +1,307 @@
+"""Detectors: the security assertions that must fire when hardware lies.
+
+Following "Translating Common Security Assertions Across Processor
+Designs" (PAPERS.md), each detector is one checkable assertion over the
+:class:`repro.sim.MemorySystem` seam -- the same seam the tlb invariant
+suite, the analysis taint cross-check and the security evaluator observe.
+A fault-injection campaign proves the assertions are *live*: every fault
+class of :data:`repro.faults.plan.SIM_FAULT_KINDS` must trip at least one
+detector, otherwise a hardware bug could silently alter the paper's
+Table 4 / Figure 7 conclusions.
+
+======================  =====================================================
+``tlb-audit``           :meth:`repro.tlb.BaseTLB.audit` structural check
+``shadow-model``        an event-bus shadow TLB diverges from the real one
+``translation-oracle``  a live entry's PPN is not what the page tables say
+``sec-bit``             a Sec bit is set outside the secure region
+``walk-timing``         a walk latency is not a whole number of levels
+``flush-efficacy``      entries survive a flush the bus says happened
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mmu.address import LEVELS
+from repro.sim.events import AccessEvent, EvictEvent, FlushEvent, WalkEvent
+from repro.sim.system import MemorySystem
+
+
+class Detector:
+    """One named assertion accumulating violations."""
+
+    name: str = ""
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+
+    def attach(self, memory: MemorySystem) -> "Detector":
+        self.memory = memory
+        return self
+
+    def flag(self, message: str) -> None:
+        self.violations.append(message)
+
+    def finish(self) -> None:
+        """Run end-of-campaign checks (event handlers ran live)."""
+
+
+class TLBAuditDetector(Detector):
+    """The invariant suite's structural checks, against the live TLB."""
+
+    name = "tlb-audit"
+
+    def finish(self) -> None:
+        for problem in self.memory.tlb.audit():
+            self.flag(problem)
+
+
+class ShadowModelDetector(Detector):
+    """Replays bus events into a shadow TLB and diffs it against reality.
+
+    Every architecturally announced fill must still be resident (unless an
+    announced eviction, flush or context-switch policy removed it), and
+    must translate to the announced PPN.  With ``strict`` (standard
+    designs, whose every fill is bus-visible) the converse holds too: no
+    unannounced entries may exist.  The Random-Fill TLB's random fills are
+    deliberately invisible on the bus, so RF runs audit one-sided.
+    """
+
+    name = "shadow-model"
+
+    def __init__(self, strict: bool = True) -> None:
+        super().__init__()
+        self.strict = strict
+        #: (vpn, asid) -> announced ppn, for base-page fills.
+        self.shadow: Dict[Tuple[int, int], int] = {}
+
+    def attach(self, memory: MemorySystem) -> "ShadowModelDetector":
+        super().attach(memory)
+        bus = memory.bus
+        bus.on_access(self._on_access)
+        bus.on_evict(self._on_evict)
+        bus.on_flush(self._on_flush)
+        return self
+
+    def _on_access(self, event: AccessEvent) -> None:
+        if event.filled:
+            self.shadow[(event.vpn, event.asid)] = event.ppn
+
+    def _on_evict(self, event: EvictEvent) -> None:
+        self.shadow.pop((event.vpn, event.asid), None)
+
+    def _on_flush(self, event: FlushEvent) -> None:
+        if event.scope == "all":
+            self.shadow.clear()
+        elif event.scope == "asid":
+            for key in [k for k in self.shadow if k[1] == event.asid]:
+                del self.shadow[key]
+        elif event.scope == "page":
+            self.shadow.pop((event.vpn, event.asid), None)
+
+    def finish(self) -> None:
+        real = {
+            (entry.vpn, entry.asid): entry.ppn
+            for entry in self.memory.tlb.entries()
+            if entry.level == 0
+        }
+        for (vpn, asid), ppn in sorted(self.shadow.items()):
+            if (vpn, asid) not in real:
+                self.flag(
+                    f"announced fill vpn={vpn:#x} asid={asid} is no longer"
+                    " resident (no eviction or flush was announced)"
+                )
+            elif real[(vpn, asid)] != ppn:
+                self.flag(
+                    f"vpn={vpn:#x} asid={asid} translates to"
+                    f" {real[(vpn, asid)]:#x}, bus announced {ppn:#x}"
+                )
+        if self.strict:
+            for (vpn, asid) in sorted(set(real) - set(self.shadow)):
+                self.flag(
+                    f"unannounced resident entry vpn={vpn:#x} asid={asid}"
+                )
+
+
+class TranslationOracleDetector(Detector):
+    """Cross-checks every live entry against the page tables.
+
+    The walker's page tables are ground truth (the analysis layer's taint
+    cross-check trusts the same source): a resident translation the OS
+    never mapped, or one pointing at the wrong frame, is corruption.
+    """
+
+    name = "translation-oracle"
+
+    def finish(self) -> None:
+        walker = self.memory.walker
+        if not hasattr(walker, "peek"):  # e.g. IdentityTranslator
+            return
+        for entry in self.memory.tlb.entries():
+            if entry.level != 0:
+                continue
+            expected = walker.peek(entry.vpn, entry.asid)
+            if expected is None:
+                self.flag(
+                    f"entry vpn={entry.vpn:#x} asid={entry.asid} has no"
+                    " page-table mapping"
+                )
+            elif expected != entry.ppn:
+                self.flag(
+                    f"entry vpn={entry.vpn:#x} asid={entry.asid} holds"
+                    f" ppn={entry.ppn:#x}, page table says {expected:#x}"
+                )
+
+
+class SecBitDetector(Detector):
+    """Sec bits may only mark pages inside the programmed secure region."""
+
+    name = "sec-bit"
+
+    def finish(self) -> None:
+        tlb = self.memory.tlb
+        sbase = getattr(tlb, "sbase", 0)
+        ssize = getattr(tlb, "ssize", 0)
+        for entry in self.memory.tlb.entries():
+            inside = ssize > 0 and sbase <= entry.vpn < sbase + ssize
+            if entry.sec and not inside:
+                self.flag(
+                    f"sec bit set on vpn={entry.vpn:#x} asid={entry.asid}"
+                    " outside the secure region"
+                )
+            elif not entry.sec and inside and hasattr(tlb, "set_secure_region"):
+                victim = getattr(tlb, "victim_asid", None)
+                if victim is None or entry.asid == victim:
+                    self.flag(
+                        f"sec bit clear on secure-region vpn={entry.vpn:#x}"
+                        f" asid={entry.asid}"
+                    )
+
+
+class WalkTimingDetector(Detector):
+    """Walk latency must be a whole number of radix-level accesses.
+
+    Footnote 3: no page-walk cache, so a walk's cycles are exactly
+    ``levels_touched * cycles_per_level`` with ``1 <= levels <= 3``.
+    Jitter breaks the multiple; detection is immediate, per event.
+    """
+
+    name = "walk-timing"
+
+    def attach(self, memory: MemorySystem) -> "WalkTimingDetector":
+        super().attach(memory)
+        cycles_per_level = getattr(
+            getattr(memory.walker, "config", None), "cycles_per_level", None
+        )
+        self._allowed = (
+            frozenset(
+                level * cycles_per_level for level in range(1, LEVELS + 1)
+            )
+            if cycles_per_level
+            else None
+        )
+        memory.bus.on_walk(self._on_walk)
+        return self
+
+    def _on_walk(self, event: WalkEvent) -> None:
+        if self._allowed is not None and event.cycles not in self._allowed:
+            self.flag(
+                f"walk of vpn={event.vpn:#x} took {event.cycles} cycles,"
+                f" not a whole number of levels ({sorted(self._allowed)})"
+            )
+
+
+class FlushEfficacyDetector(Detector):
+    """After an announced flush, the flushed entries must be gone.
+
+    Checked synchronously in the flush event handler, so a dropped
+    ``sfence.vma`` is caught at the exact request that lied, before any
+    refill could mask it.
+    """
+
+    name = "flush-efficacy"
+
+    def attach(self, memory: MemorySystem) -> "FlushEfficacyDetector":
+        super().attach(memory)
+        memory.bus.on_flush(self._on_flush)
+        return self
+
+    def _on_flush(self, event: FlushEvent) -> None:
+        tlb = self.memory.tlb
+        if event.scope == "all":
+            survivors = tlb.occupancy() if hasattr(tlb, "occupancy") else 0
+            if survivors:
+                self.flag(
+                    f"full flush announced but {survivors} entries survive"
+                )
+        elif event.scope == "asid":
+            stale = [
+                entry.vpn
+                for entry in tlb.entries()
+                if entry.asid == event.asid
+            ]
+            if stale:
+                self.flag(
+                    f"flush of asid {event.asid} announced but"
+                    f" {len(stale)} stale translations survive"
+                )
+        elif event.scope == "page":
+            if tlb.resident(event.vpn, event.asid):
+                self.flag(
+                    f"invalidation of vpn={event.vpn:#x} asid={event.asid}"
+                    " announced but the entry survives"
+                )
+
+
+@dataclass
+class DetectorSuite:
+    """All detectors over one memory system, plus the final verdict."""
+
+    detectors: Tuple[Detector, ...] = ()
+    memory: Optional[MemorySystem] = None
+    _finished: bool = field(default=False, repr=False)
+
+    @classmethod
+    def standard(
+        cls,
+        memory: MemorySystem,
+        strict_shadow: bool = True,
+        timing: bool = True,
+    ) -> "DetectorSuite":
+        """The full battery, attached before the workload runs.
+
+        ``strict_shadow`` is relaxed for the Random-Fill TLB, whose
+        design-internal random fills are bus-invisible (the shadow then
+        audits one-sided).  ``timing`` stays valid for every design --
+        an access is only ever charged its own requested walk -- but can
+        be dropped for translators without a uniform cost model.
+        """
+        detectors: Tuple[Detector, ...] = (
+            TLBAuditDetector(),
+            ShadowModelDetector(strict=strict_shadow),
+            TranslationOracleDetector(),
+            SecBitDetector(),
+            *((WalkTimingDetector(),) if timing else ()),
+            FlushEfficacyDetector(),
+        )
+        for detector in detectors:
+            detector.attach(memory)
+        return cls(detectors=detectors, memory=memory)
+
+    def finish(self) -> Dict[str, List[str]]:
+        """Run final checks; detector name -> violations (fired only)."""
+        if not self._finished:
+            for detector in self.detectors:
+                detector.finish()
+            self._finished = True
+        return {
+            detector.name: detector.violations
+            for detector in self.detectors
+            if detector.violations
+        }
+
+    @property
+    def fired(self) -> Tuple[str, ...]:
+        return tuple(sorted(self.finish()))

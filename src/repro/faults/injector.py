@@ -1,0 +1,222 @@
+"""The sim-layer injector: seeded hardware misbehaviour below the ISA.
+
+The injector arms one :class:`~repro.faults.plan.FaultSpec` against a live
+:class:`repro.sim.MemorySystem`, wrapping the facade's translation and
+maintenance entry points on the *instance* (the class, and every other
+memory system, is untouched).  Faults fire on the spec's trigger -- the
+N-th translation or the N-th maintenance request -- and corrupt state
+*silently*: no event is emitted for the corruption itself, no statistic is
+updated, exactly as a hardware bit flip or a dropped ``sfence.vma`` would
+alter state without telling anyone.  Detection is the detectors' job
+(:mod:`repro.faults.detectors`); an injected fault that no detector
+reports is a *silent fault*, the campaign's failure condition.
+
+The injector deliberately reaches under the architectural interface
+(live ``_sets`` entries, the raw walker) -- that is the point: it models
+the hardware misbehaving, not software using the API wrongly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.events import FlushEvent
+from repro.sim.system import MemorySystem
+from repro.tlb.base import WalkResult
+from repro.tlb.entry import TLBEntry
+
+from .plan import FaultSpec
+
+#: Bit width corrupted by the ppn/asid flips (low bits, always observable
+#: in the small campaign address spaces).
+_FLIP_BITS = 6
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault occurrence, as actually injected."""
+
+    kind: str
+    #: Layer-local injection clock value (translation / request number).
+    at: int
+    #: Human-readable description of what was corrupted.
+    detail: str
+
+
+@dataclass
+class SimFaultInjector:
+    """Arms one fault spec against one memory system (see module doc)."""
+
+    memory: MemorySystem
+    spec: FaultSpec
+    rng: random.Random
+    injected: List[InjectedFault] = field(default_factory=list)
+    _translations: int = 0
+    _maintenance_ops: int = 0
+    _remaining: int = 0
+
+    def arm(self) -> "SimFaultInjector":
+        if self.spec.layer != "sim":
+            raise ValueError(
+                f"{self.spec.kind!r} is a runner-layer fault; the sim"
+                " injector cannot arm it"
+            )
+        self._remaining = self.spec.count
+        if self.spec.kind == "walk-jitter":
+            self._wrap_walker()
+        elif self.spec.kind == "drop-flush":
+            self._wrap_maintenance()
+        else:
+            self._wrap_translate()
+        return self
+
+    # -- translation-triggered faults (bit flips, spurious evictions) ----------
+
+    def _wrap_translate(self) -> None:
+        original = self.memory.translate
+
+        def translate(vpn: int, asid: int):
+            result = original(vpn, asid)
+            self._translations += 1
+            if self._translations >= self.spec.trigger and self._remaining:
+                self._remaining -= 1
+                self._corrupt_entry()
+            return result
+
+        self.memory.translate = translate  # type: ignore[method-assign]
+
+    def _live_entries(self) -> List[Tuple[int, TLBEntry]]:
+        """(set index, live entry) pairs, reaching under the facade."""
+        tlb = self.memory.tlb
+        levels = [tlb.l1, tlb.l2] if hasattr(tlb, "l1") else [tlb]
+        return [
+            (index, entry)
+            for level in levels
+            for index, tlb_set in enumerate(level._sets)
+            for entry in tlb_set
+            if entry.valid
+        ]
+
+    def _corrupt_entry(self) -> None:
+        live = self._live_entries()
+        if not live:
+            return
+        _index, entry = self.rng.choice(live)
+        kind = self.spec.kind
+        if kind == "bitflip-ppn":
+            bit = self.rng.randrange(_FLIP_BITS)
+            entry.ppn ^= 1 << bit
+            detail = f"ppn bit {bit} of vpn={entry.vpn:#x} asid={entry.asid}"
+        elif kind == "bitflip-asid":
+            bit = self.rng.randrange(_FLIP_BITS)
+            entry.asid ^= 1 << bit
+            detail = f"asid bit {bit} of vpn={entry.vpn:#x} -> {entry.asid}"
+        elif kind == "bitflip-sec":
+            entry.sec = not entry.sec
+            detail = (
+                f"sec bit of vpn={entry.vpn:#x} asid={entry.asid}"
+                f" -> {entry.sec}"
+            )
+        elif kind == "spurious-evict":
+            detail = f"dropped vpn={entry.vpn:#x} asid={entry.asid}"
+            entry.invalidate()
+        else:  # pragma: no cover - arm() routes kinds
+            raise AssertionError(kind)
+        self.injected.append(
+            InjectedFault(kind=kind, at=self._translations, detail=detail)
+        )
+
+    # -- dropped maintenance (sfence.vma hazards) ------------------------------
+
+    def _wrap_maintenance(self) -> None:
+        """Acknowledge flush requests without performing them.
+
+        The dropped operation still publishes its :class:`FlushEvent` --
+        the hardware *claims* completion -- which is what lets the flush
+        efficacy assertion catch the lie by inspecting post-flush state.
+        """
+        memory = self.memory
+
+        def drops() -> bool:
+            self._maintenance_ops += 1
+            if self._maintenance_ops >= self.spec.trigger and self._remaining:
+                self._remaining -= 1
+                return True
+            return False
+
+        original_all = memory.flush_all
+        original_asid = memory.flush_asid
+
+        def flush_all() -> None:
+            if drops():
+                self._record_drop("flush_all")
+                if memory.bus.active:
+                    memory.bus.emit(FlushEvent(scope="all"))
+                return
+            original_all()
+
+        def flush_asid(asid: int) -> None:
+            if drops():
+                self._record_drop(f"flush_asid({asid})")
+                if memory.bus.active:
+                    memory.bus.emit(FlushEvent(scope="asid", asid=asid))
+                return
+            original_asid(asid)
+
+        memory.flush_all = flush_all  # type: ignore[method-assign]
+        memory.flush_asid = flush_asid  # type: ignore[method-assign]
+
+    def _record_drop(self, what: str) -> None:
+        self.injected.append(
+            InjectedFault(
+                kind="drop-flush",
+                at=self._maintenance_ops,
+                detail=f"dropped {what}",
+            )
+        )
+
+    # -- walker latency jitter --------------------------------------------------
+
+    def _wrap_walker(self) -> None:
+        walker = self.memory.walker
+        original = walker.walk
+        cycles_per_level = getattr(
+            getattr(walker, "config", None), "cycles_per_level", 10
+        )
+
+        def walk(vpn: int, asid: int) -> WalkResult:
+            result = original(vpn, asid)
+            self._translations += 1
+            if self._translations >= self.spec.trigger and self._remaining:
+                self._remaining -= 1
+                # Jitter below one level's cost: never a clean multiple,
+                # so latency stops being a pure function of levels walked.
+                jitter = self.rng.randrange(1, cycles_per_level)
+                self.injected.append(
+                    InjectedFault(
+                        kind="walk-jitter",
+                        at=self._translations,
+                        detail=f"+{jitter} cycles on vpn={vpn:#x}",
+                    )
+                )
+                return WalkResult(
+                    ppn=result.ppn,
+                    cycles=result.cycles + jitter,
+                    level=result.level,
+                )
+            return result
+
+        walker.walk = walk  # type: ignore[method-assign]
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> Optional[Dict[str, Any]]:
+        if not self.injected:
+            return None
+        return {
+            "kind": self.spec.kind,
+            "injections": len(self.injected),
+            "details": [fault.detail for fault in self.injected],
+        }

@@ -84,6 +84,21 @@ class PageTableWalker:
             level=entry.level,
         )
 
+    def peek(self, vpn: int, asid: int) -> Optional[int]:
+        """Side-effect-free translation lookup: the PPN, or ``None``.
+
+        Unlike :meth:`walk`, peeking never auto-maps, charges no cycles
+        and counts no walks -- it reads the page table as ground truth.
+        The :mod:`repro.faults` detectors use it to cross-check every live
+        TLB entry against the OS's mapping, so a corrupted PPN or ASID tag
+        (a translation the page tables never produced) is observable.
+        """
+        table = self._tables.get(asid)
+        if table is None:
+            return None
+        entry = table.lookup(vpn)
+        return None if entry is None else entry.translate(vpn)
+
     def allows(self, vpn: int, asid: int, required: Permission) -> bool:
         """Permission check for an already-translated access.
 

@@ -21,8 +21,14 @@ from dataclasses import dataclass
 
 
 def _plogp_term(joint: float, marginal_b: float, marginal_o: float) -> float:
-    """One ``p(b,o) * log2(p(b,o) / (p(b) p(o)))`` term, with 0 log 0 = 0."""
-    if joint <= 0.0:
+    """One ``p(b,o) * log2(p(b,o) / (p(b) p(o)))`` term, with 0 log 0 = 0.
+
+    A marginal can round to exactly 0 while the joint keeps a stray ulp
+    (e.g. ``p1 = 1.0, p2 = 1.0 - 2**-53`` makes ``p_hit`` underflow to 0
+    with a joint of ~5.6e-17); since ``p(b,o) <= p(o)`` holds exactly,
+    such a term is vanishing and counts as 0 rather than dividing by 0.
+    """
+    if joint <= 0.0 or marginal_b * marginal_o <= 0.0:
         return 0.0
     return joint * math.log2(joint / (marginal_b * marginal_o))
 

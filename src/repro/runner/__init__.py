@@ -29,7 +29,13 @@ from .cache import (
     unit_cache_key,
 )
 from .experiments import DEFAULT_OPTIONS
-from .progress import ProgressPrinter, RunLog, RunReport
+from .progress import (
+    ProgressPrinter,
+    RunLog,
+    RunReport,
+    completed_idents,
+    replay_run_log,
+)
 from .registry import (
     REGISTRY,
     Experiment,
@@ -61,12 +67,14 @@ __all__ = [
     "Unit",
     "all_experiments",
     "code_fingerprint",
+    "completed_idents",
     "default_jobs",
     "ensure_default_experiments",
     "expand_units",
     "get_experiment",
     "matches_filter",
     "register",
+    "replay_run_log",
     "run_all",
     "run_units_serially",
     "stable_seed",

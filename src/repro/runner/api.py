@@ -8,14 +8,23 @@ results back, reassembles the serial path's artifacts, and returns a
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
+from repro.faults.chaos import ChaosConfig
+
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .experiments import DEFAULT_OPTIONS
-from .progress import ProgressPrinter, RunLog, RunReport
+from .progress import (
+    ProgressPrinter,
+    RunLog,
+    RunReport,
+    completed_idents,
+    replay_run_log,
+)
 from .registry import all_experiments, ensure_default_experiments, expand_units
 from .scheduler import Scheduler, TaskOutcome, run_units_serially
 from .results import write_artifacts
@@ -36,6 +45,8 @@ def run_all(
     progress: bool = True,
     max_retries: int = 2,
     backoff: float = 0.05,
+    task_timeout: Optional[float] = None,
+    chaos: Optional[ChaosConfig] = None,
 ) -> RunReport:
     """Run every (filtered) experiment cell and merge the artifacts.
 
@@ -43,6 +54,14 @@ def run_all(
     explicit path to redirect it.  ``options`` overrides entries of
     :data:`~repro.runner.experiments.DEFAULT_OPTIONS` (e.g. smaller trial
     counts for smoke tests).
+
+    ``task_timeout`` arms the scheduler's per-cell wall-clock watchdog;
+    ``chaos`` injects deterministic worker faults (testing only; see
+    :mod:`repro.faults`).  If the previous run at this ``results_dir`` was
+    interrupted, its run log is replayed for a ``run_resume`` event and
+    the cache transparently resumes the work; an interrupted or
+    partially-failed run leaves a ``failed_cells.json`` manifest beside
+    the artifacts.
     """
     started = time.monotonic()
     ensure_default_experiments()
@@ -56,10 +75,25 @@ def run_all(
     units = expand_units(merged_options, filters)
     report = RunReport(units_total=len(units), jobs=jobs)
 
-    log = RunLog(
+    log_file = Path(
         log_path if log_path is not None
         else Path(results_dir) / "run_log.jsonl"
     )
+    # Replay the previous log *before* RunLog truncates it: a log whose
+    # run never ended cleanly (no run_end, or run_end with interrupted
+    # set, or a torn tail from a hard kill) marks an interrupted run this
+    # one resumes (via the cache).
+    prior_events = replay_run_log(log_file)
+    prior_done: List[str] = []
+    if prior_events:
+        ended_clean = any(
+            event.get("event") == "run_end" and not event.get("interrupted")
+            for event in prior_events
+        )
+        if not ended_clean:
+            prior_done = completed_idents(prior_events)
+
+    log = RunLog(log_file)
     printer = ProgressPrinter(total=len(units), enabled=progress)
 
     cache = (
@@ -75,6 +109,20 @@ def run_all(
         cache=bool(cache),
         code_version=cache.code_version if cache else None,
     )
+    if prior_done:
+        resumable = {unit.ident for unit in units}
+        report.resumed_cells = sum(
+            1 for ident in prior_done if ident in resumable
+        )
+        log.emit(
+            "run_resume",
+            prior_completed=len(prior_done),
+            resumed=report.resumed_cells,
+        )
+        printer.note(
+            f"resuming: a previous interrupted run completed"
+            f" {report.resumed_cells}/{len(units)} of these cells"
+        )
 
     # Resolve cache hits in-process; only misses are scheduled.
     outcomes: Dict[int, TaskOutcome] = {}
@@ -112,13 +160,21 @@ def run_all(
             backoff=backoff,
             log=log,
             progress=printer,
+            task_timeout=task_timeout,
+            chaos=chaos,
         )
         fresh = scheduler.run(to_run)
         report.retries = scheduler.retries
         report.worker_crashes = scheduler.worker_crashes
+        report.watchdog_kills = scheduler.watchdog_kills
+        report.corrupt_results = scheduler.corrupt_results
+        report.interrupted = scheduler.interrupted
         report.worker_busy = dict(scheduler.worker_busy)
     elif to_run:
         fresh = run_units_serially(to_run, log)
+        # The serial path records an outcome for every cell it reaches
+        # (even failures); a shortfall means Ctrl-C stopped it early.
+        report.interrupted = len(fresh) < len(to_run)
         report.worker_busy = {
             0: sum(outcome.elapsed for outcome in fresh.values())
         }
@@ -133,6 +189,7 @@ def run_all(
 
     report.cache_hits = cache.stats.hits if cache else 0
     report.cache_misses = cache.stats.misses if cache else 0
+    report.cache_corrupt = cache.stats.corrupt if cache else 0
     report.completed = sum(
         1 for outcome in outcomes.values() if not outcome.failed
     )
@@ -166,6 +223,43 @@ def run_all(
     report.artifacts = write_artifacts(
         assembled, results_dir, merged_options, log
     )
+
+    # Quarantine manifest: which cells failed (with errors), which never
+    # ran, and whether the run was cut short -- machine-readable, so CI
+    # and resume tooling need not parse the log.
+    manifest_path = Path(results_dir) / "failed_cells.json"
+    if report.failed or report.interrupted:
+        missing = [
+            unit.ident
+            for task_id, unit in enumerate(units)
+            if task_id not in outcomes
+        ]
+        manifest = {
+            "interrupted": report.interrupted,
+            "failed": [
+                {
+                    "ident": outcomes[task_id].unit.ident,
+                    "attempts": outcomes[task_id].attempts,
+                    "error": (
+                        outcomes[task_id].error.splitlines()[-1]
+                        if outcomes[task_id].error
+                        else None
+                    ),
+                }
+                for task_id in sorted(outcomes)
+                if outcomes[task_id].failed
+            ],
+            "missing": missing,
+        }
+        manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+        )
+        log.emit("manifest", path=str(manifest_path))
+    elif manifest_path.exists():
+        # A fully successful run clears the previous quarantine record.
+        manifest_path.unlink()
+
     report.elapsed = time.monotonic() - started
     log.emit("run_end", **report.summary_fields())
     log.close()
@@ -179,4 +273,9 @@ def run_all(
         printer.note(f"wrote {len(report.artifacts)} artifacts")
     if report.failed:
         printer.note(f"FAILED cells: {', '.join(report.failed)}")
+    if report.interrupted:
+        printer.note(
+            f"interrupted: {report.completed}/{report.units_total} cells"
+            " done; rerun to resume from the cache"
+        )
     return report

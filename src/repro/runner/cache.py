@@ -14,11 +14,13 @@ next to a small JSON sidecar of provenance metadata for inspection.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Tuple, Union
 
 from .registry import Unit
 
@@ -68,11 +70,35 @@ def unit_cache_key(unit: Unit, code_version: str) -> str:
     return hashlib.sha256(identity.encode()).hexdigest()
 
 
+#: Per-process staging-name counter; see :func:`_atomic_write`.
+_tmp_serial = itertools.count()
+
+
+def _atomic_write(path: Path, data: Union[bytes, str]) -> None:
+    """Write-then-rename so concurrent readers and writers never collide.
+
+    The staging name embeds the PID and a per-process serial: parallel
+    writers racing on the same key (two workers recomputing one cell, two
+    ``run-all`` invocations sharing a cache) each stage privately and the
+    last rename wins whole, instead of interleaving writes into one shared
+    ``.tmp`` file.
+    """
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{next(_tmp_serial)}.tmp")
+    if isinstance(data, bytes):
+        tmp.write_bytes(data)
+    else:
+        tmp.write_text(data)
+    tmp.replace(path)
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: Entries found on disk but unreadable (torn/corrupt); treated as
+    #: misses and repaired by the next store.
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -107,12 +133,14 @@ class ResultCache:
             try:
                 with path.open("rb") as handle:
                     record = pickle.load(handle)
-                self.stats.hits += 1
-                return True, record["value"]
+                value = record["value"]
             except Exception:
                 # A truncated or unreadable entry (e.g. a crashed writer)
                 # is treated as a miss and overwritten on the next store.
-                pass
+                self.stats.corrupt += 1
+            else:
+                self.stats.hits += 1
+                return True, value
         self.stats.misses += 1
         return False, None
 
@@ -129,17 +157,16 @@ class ResultCache:
             "elapsed": elapsed,
             "value": value,
         }
-        # Write-then-rename so readers never observe a partial pickle.
-        tmp = path.with_suffix(".tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)
+        _atomic_write(
+            path, pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        )
         sidecar = {
             k: record[k]
             for k in ("experiment", "key", "params", "seed", "code_version",
                       "elapsed")
         }
-        path.with_suffix(".json").write_text(
-            json.dumps(sidecar, sort_keys=True, default=str) + "\n"
+        _atomic_write(
+            path.with_suffix(".json"),
+            json.dumps(sidecar, sort_keys=True, default=str) + "\n",
         )
         self.stats.stores += 1

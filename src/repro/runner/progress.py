@@ -4,12 +4,15 @@ Every run appends structured events to a JSONL file (one JSON object per
 line, ``event`` field first).  The schema is documented in
 ``docs/runner.md``; the events are:
 
-``run_start``     jobs, unit count, code version, filters
-``unit_done``     one cell finished (ok / failed / cached), with timings
-``retry``         a cell is being re-queued after an error or crash
-``worker_crash``  a worker process died mid-cell
-``artifact``      one merged output file was written
-``run_end``       wall time, throughput, cache hit-rate, utilization
+``run_start``      jobs, unit count, code version, filters
+``run_resume``     a previous (interrupted) run log was found and replayed
+``unit_done``      one cell finished (ok / failed / cached), with timings
+``retry``          a cell is being re-queued after an error or crash
+``worker_crash``   a worker process died mid-cell
+``watchdog_kill``  the wall-clock watchdog killed a hung worker
+``interrupted``    the run stopped early (Ctrl-C); a partial report follows
+``artifact``       one merged output file was written
+``run_end``        wall time, throughput, cache hit-rate, utilization
 
 The console printer renders the same information as throttled single-line
 updates so a multi-hundred-cell run stays readable in CI logs.
@@ -52,6 +55,32 @@ class RunLog:
             self._writer = None
 
 
+def replay_run_log(path: Path | str) -> List[Dict[str, Any]]:
+    """Load a previous run's JSONL log, tolerating an interrupted tail.
+
+    Used by ``run-all`` to report what an interrupted campaign already
+    completed before resuming it from the result cache.  Delegates to
+    :func:`repro.sim.read_jsonl`, so a log torn mid-record by a kill is
+    replayed up to its last whole event.  Returns ``[]`` for a missing
+    log.
+    """
+    from repro.sim import read_jsonl
+
+    path = Path(path)
+    if not path.is_file():
+        return []
+    return read_jsonl(path)
+
+
+def completed_idents(events: List[Dict[str, Any]]) -> List[str]:
+    """Cells a replayed run log records as successfully finished."""
+    return [
+        f"{record.get('experiment')}/{record.get('key')}"
+        for record in events
+        if record.get("event") == "unit_done" and record.get("status") == "ok"
+    ]
+
+
 @dataclass
 class RunReport:
     """Summary statistics of one orchestrated run."""
@@ -63,6 +92,16 @@ class RunReport:
     cache_misses: int = 0
     retries: int = 0
     worker_crashes: int = 0
+    #: Hung workers killed (and their cells requeued) by the watchdog.
+    watchdog_kills: int = 0
+    #: Results rejected by the integrity envelope and recomputed.
+    corrupt_results: int = 0
+    #: On-disk cache entries found unreadable (torn writes) and recomputed.
+    cache_corrupt: int = 0
+    #: The run stopped early (Ctrl-C); artifacts/manifest are partial.
+    interrupted: bool = False
+    #: Cells a previous interrupted run had already completed (log replay).
+    resumed_cells: int = 0
     jobs: int = 1
     elapsed: float = 0.0
     #: Per-worker busy seconds, for the utilization figure.
@@ -88,7 +127,7 @@ class RunReport:
 
     @property
     def ok(self) -> bool:
-        return not self.failed
+        return not self.failed and not self.interrupted
 
     def summary_fields(self) -> Dict[str, Any]:
         return {
@@ -100,6 +139,11 @@ class RunReport:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "retries": self.retries,
             "worker_crashes": self.worker_crashes,
+            "watchdog_kills": self.watchdog_kills,
+            "corrupt_results": self.corrupt_results,
+            "cache_corrupt": self.cache_corrupt,
+            "interrupted": self.interrupted,
+            "resumed_cells": self.resumed_cells,
             "jobs": self.jobs,
             "elapsed": round(self.elapsed, 3),
             "cells_per_second": round(self.cells_per_second, 3),

@@ -13,6 +13,7 @@ rather than writing truncated ones.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
@@ -224,6 +225,24 @@ def write_artifacts(
          lambda p: p.write_text(_sweeps_text(assembled["sweeps"])))
     emit("attacks.txt",
          lambda p: p.write_text(_attacks_text(assembled["attacks"])))
+
+    # Experiments without a dedicated writer (e.g. test probes and the
+    # chaos campaign's cells) still get a deterministic JSON artifact, so
+    # clean-vs-chaos byte comparisons have a merged file to diff.
+    claimed = {
+        source for sources in ARTIFACT_SOURCES.values() for source in sources
+    }
+    for name in sorted(assembled):
+        if name in claimed:
+            continue
+        filename = f"{name}.json"
+        path = results_dir / filename
+        path.write_text(
+            json.dumps(assembled[name], indent=2, sort_keys=True, default=str)
+            + "\n"
+        )
+        written.append(filename)
+        log.emit("artifact", path=str(path))
     return written
 
 

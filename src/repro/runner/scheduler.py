@@ -15,13 +15,18 @@ are identical for any ``--jobs`` value and any completion order.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import os
+import pickle
 import queue as queue_module
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.chaos import ChaosConfig
 
 from .progress import ProgressPrinter, RunLog
 from .registry import Unit, get_experiment
@@ -45,8 +50,22 @@ def _worker_main(
     worker_id: int,
     task_queue: "multiprocessing.Queue",
     result_queue: "multiprocessing.Queue",
+    chaos: Optional[ChaosConfig] = None,
 ) -> None:
-    """Worker loop: claim, run, report; exit on the ``None`` sentinel."""
+    """Worker loop: claim, run, report; exit on the ``None`` sentinel.
+
+    Successful results travel as an *integrity envelope*: the pickled
+    payload plus its SHA-256, hashed worker-side over the exact bytes put
+    on the queue, so the parent can reject a payload corrupted anywhere
+    between ``run`` returning and the queue read (or by the chaos mode
+    that simulates exactly that).
+
+    With a :class:`~repro.faults.chaos.ChaosConfig`, the worker misbehaves
+    deterministically per ``(cell, attempt)``: hanging (to exercise the
+    parent's watchdog), dying without a word (crash recovery), tampering
+    with the payload after hashing (envelope verification), or raising on
+    every attempt (poison-cell quarantine).
+    """
     from repro.runner.registry import ensure_default_experiments
 
     ensure_default_experiments()
@@ -55,10 +74,17 @@ def _worker_main(
         if item is None:
             result_queue.put(("bye", worker_id, -1, None, 0.0))
             return
-        task_id, experiment_name, params = item
+        task_id, experiment_name, params, ident, attempt = item
         result_queue.put(("claim", worker_id, task_id, None, 0.0))
+        fault = chaos.fault_for(ident, attempt) if chaos is not None else None
+        if fault == "hang":
+            time.sleep(chaos.hang_seconds)
+        elif fault == "crash":
+            os._exit(113)
         start = time.perf_counter()
         try:
+            if fault == "poison":
+                raise RuntimeError(f"chaos: poisoned cell {ident}")
             value = get_experiment(experiment_name).run(params)
         except BaseException:
             result_queue.put(
@@ -71,8 +97,20 @@ def _worker_main(
                 )
             )
         else:
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.sha256(blob).hexdigest()
+            if fault == "corrupt-result":
+                tampered = bytearray(blob)
+                tampered[len(tampered) // 2] ^= 0xFF
+                blob = bytes(tampered)
             result_queue.put(
-                ("ok", worker_id, task_id, value, time.perf_counter() - start)
+                (
+                    "ok",
+                    worker_id,
+                    task_id,
+                    (blob, digest),
+                    time.perf_counter() - start,
+                )
             )
 
 
@@ -87,6 +125,8 @@ class Scheduler:
         log: Optional[RunLog] = None,
         progress: Optional[ProgressPrinter] = None,
         poll_interval: float = 0.1,
+        task_timeout: Optional[float] = None,
+        chaos: Optional[ChaosConfig] = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.max_retries = max_retries
@@ -94,8 +134,16 @@ class Scheduler:
         self.log = log or RunLog(None)
         self.progress = progress
         self.poll_interval = poll_interval
+        #: Wall-clock budget per cell attempt; a claim outstanding longer
+        #: gets its worker killed and the cell requeued with backoff.
+        self.task_timeout = task_timeout
+        self.chaos = chaos
         self.retries = 0
         self.worker_crashes = 0
+        self.watchdog_kills = 0
+        self.corrupt_results = 0
+        #: True once a KeyboardInterrupt stopped the run early.
+        self.interrupted = False
         self.worker_busy: Dict[int, float] = {}
         # ``fork`` keeps test-registered experiments visible to workers and
         # avoids re-importing the package per process; fall back to the
@@ -110,7 +158,7 @@ class Scheduler:
     def _spawn_worker(self, worker_id: int, task_queue, result_queue):
         process = self._ctx.Process(
             target=_worker_main,
-            args=(worker_id, task_queue, result_queue),
+            args=(worker_id, task_queue, result_queue, self.chaos),
             daemon=True,
             name=f"repro-worker-{worker_id}",
         )
@@ -131,6 +179,8 @@ class Scheduler:
         attempts: Dict[int, int] = {task_id: 0 for task_id, _unit in units}
         #: task_id -> worker currently executing it.
         claimed: Dict[int, int] = {}
+        #: task_id -> monotonic claim time (the watchdog's clock).
+        claim_times: Dict[int, float] = {}
         #: Cells handed to the queue whose fate is unknown.
         dispatched: set = set()
         outcomes: Dict[int, TaskOutcome] = {}
@@ -187,7 +237,13 @@ class Scheduler:
                     try:
                         unit = by_id[task_id]
                         task_queue.put_nowait(
-                            (task_id, unit.experiment, dict(unit.params))
+                            (
+                                task_id,
+                                unit.experiment,
+                                dict(unit.params),
+                                unit.ident,
+                                attempts[task_id] + 1,
+                            )
                         )
                         dispatched.add(task_id)
                     except queue_module.Full:
@@ -201,9 +257,13 @@ class Scheduler:
                         result_queue.get(timeout=self.poll_interval)
                     )
                 except queue_module.Empty:
-                    self._check_workers(
-                        workers, claimed, dispatched, outcomes, pending,
+                    self._watchdog(
+                        workers, by_id, claimed, claim_times, dispatched,
                         task_queue, result_queue, schedule_retry,
+                    )
+                    self._check_workers(
+                        workers, claimed, claim_times, dispatched, outcomes,
+                        pending, task_queue, result_queue, schedule_retry,
                     )
                     # A worker can die between dequeuing a task and claiming
                     # it; if everything is quiet but cells are unaccounted
@@ -230,8 +290,10 @@ class Scheduler:
                     continue
                 if kind == "claim":
                     claimed[task_id] = worker_id
+                    claim_times[task_id] = time.monotonic()
                     continue
                 claimed.pop(task_id, None)
+                claim_times.pop(task_id, None)
                 dispatched.discard(task_id)
                 self.worker_busy[worker_id] = (
                     self.worker_busy.get(worker_id, 0.0) + elapsed
@@ -240,9 +302,24 @@ class Scheduler:
                     continue  # duplicate completion after a lost-task retry
                 unit = by_id[task_id]
                 if kind == "ok":
+                    blob, digest = payload
+                    if hashlib.sha256(blob).hexdigest() != digest:
+                        self.corrupt_results += 1
+                        self.log.emit(
+                            "corrupt_result",
+                            experiment=unit.experiment,
+                            key=unit.key,
+                            worker=worker_id,
+                        )
+                        schedule_retry(
+                            task_id,
+                            "corrupt-result",
+                            "result payload failed its integrity check",
+                        )
+                        continue
                     outcomes[task_id] = TaskOutcome(
                         unit=unit,
-                        value=payload,
+                        value=pickle.loads(blob),
                         elapsed=elapsed,
                         worker=worker_id,
                         attempts=attempts[task_id] + 1,
@@ -266,18 +343,84 @@ class Scheduler:
                 else:  # "err"
                     schedule_retry(task_id, "exception", payload)
 
-                self._check_workers(
-                    workers, claimed, dispatched, outcomes, pending,
+                self._watchdog(
+                    workers, by_id, claimed, claim_times, dispatched,
                     task_queue, result_queue, schedule_retry,
                 )
+                self._check_workers(
+                    workers, claimed, claim_times, dispatched, outcomes,
+                    pending, task_queue, result_queue, schedule_retry,
+                )
+        except KeyboardInterrupt:
+            self.interrupted = True
+            self.log.emit(
+                "interrupted",
+                completed=len(outcomes),
+                remaining=len(by_id) - len(outcomes),
+            )
         finally:
-            self._shutdown(workers, task_queue)
+            self._shutdown(workers, task_queue, force=self.interrupted)
         return outcomes
+
+    def _watchdog(
+        self,
+        workers,
+        by_id,
+        claimed,
+        claim_times,
+        dispatched,
+        task_queue,
+        result_queue,
+        schedule_retry,
+    ) -> None:
+        """Kill workers whose claimed cell exceeded ``task_timeout``.
+
+        The hung cell is requeued (with the usual backoff and retry
+        budget), a replacement worker is spawned, and the kill is recorded
+        as a ``watchdog_kill`` log event -- so a single wedged cell can
+        slow a run down but never wedge it.
+        """
+        if self.task_timeout is None:
+            return
+        now = time.monotonic()
+        for task_id, since in list(claim_times.items()):
+            if now - since <= self.task_timeout:
+                continue
+            claim_times.pop(task_id, None)
+            worker_id = claimed.pop(task_id, None)
+            if worker_id is None:
+                continue
+            dispatched.discard(task_id)
+            unit = by_id[task_id]
+            self.watchdog_kills += 1
+            self.log.emit(
+                "watchdog_kill",
+                worker=worker_id,
+                experiment=unit.experiment,
+                key=unit.key,
+                timeout=self.task_timeout,
+            )
+            process = workers.pop(worker_id, None)
+            if process is not None:
+                process.kill()
+                process.join(timeout=2.0)
+                replacement_id = self._next_worker_id
+                self._next_worker_id += 1
+                workers[replacement_id] = self._spawn_worker(
+                    replacement_id, task_queue, result_queue
+                )
+                self.worker_busy.setdefault(replacement_id, 0.0)
+            schedule_retry(
+                task_id,
+                "watchdog-timeout",
+                f"cell exceeded the {self.task_timeout}s watchdog timeout",
+            )
 
     def _check_workers(
         self,
         workers,
         claimed,
+        claim_times,
         dispatched,
         outcomes,
         pending,
@@ -302,6 +445,7 @@ class Scheduler:
             for task_id, claimant in list(claimed.items()):
                 if claimant == worker_id:
                     del claimed[task_id]
+                    claim_times.pop(task_id, None)
                     dispatched.discard(task_id)
                     schedule_retry(
                         task_id,
@@ -315,7 +459,24 @@ class Scheduler:
             )
             self.worker_busy.setdefault(replacement_id, 0.0)
 
-    def _shutdown(self, workers, task_queue) -> None:
+    def _shutdown(self, workers, task_queue, force: bool = False) -> None:
+        """Stop all workers; ``force`` terminates without draining.
+
+        The forced path serves Ctrl-C: workers are interrupted mid-cell,
+        so waiting for sentinel pickup would hang on a full queue.
+        """
+        if force:
+            for process in workers.values():
+                process.terminate()
+            for process in workers.values():
+                process.join(timeout=2.0)
+            for process in workers.values():
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.kill()
+                    process.join(timeout=1.0)
+            task_queue.close()
+            task_queue.cancel_join_thread()
+            return
         for _ in workers:
             try:
                 task_queue.put_nowait(None)
@@ -335,13 +496,25 @@ class Scheduler:
 def run_units_serially(
     units: List[Tuple[int, Unit]], log: Optional[RunLog] = None
 ) -> Dict[int, TaskOutcome]:
-    """In-process execution (``--jobs 1``): same semantics, no processes."""
+    """In-process execution (``--jobs 1``): same semantics, no processes.
+
+    A ``KeyboardInterrupt`` stops the loop between (or inside) cells and
+    returns the outcomes gathered so far; ``run_all`` reads the shortfall
+    as an interrupted run and reports partially.
+    """
     log = log or RunLog(None)
     outcomes: Dict[int, TaskOutcome] = {}
     for task_id, unit in units:
         start = time.perf_counter()
         try:
             value = get_experiment(unit.experiment).run(dict(unit.params))
+        except KeyboardInterrupt:
+            log.emit(
+                "interrupted",
+                completed=len(outcomes),
+                remaining=len(units) - len(outcomes),
+            )
+            return outcomes
         except Exception:
             error = traceback.format_exc()
             outcomes[task_id] = TaskOutcome(

@@ -30,10 +30,16 @@ from .events import (
     FlushEvent,
     WalkEvent,
 )
-from .observers import JsonlWriter, StatsObserver, TraceObserver
+from .observers import (
+    JsonlWriter,
+    StatsObserver,
+    TornRecordError,
+    TraceObserver,
+    read_jsonl,
+)
 from .probe import ProbeOutcome, SetProber, pages_for_set
 from .system import MemorySystem
-from .trace import SCENARIOS, TraceReport, run_scenario
+from .trace import SCENARIOS, TraceReport, read_trace, run_scenario
 
 __all__ = [
     "SCENARIOS",
@@ -49,8 +55,11 @@ __all__ = [
     "ProbeOutcome",
     "SetProber",
     "StatsObserver",
+    "TornRecordError",
     "TraceObserver",
     "WalkEvent",
     "pages_for_set",
+    "read_jsonl",
+    "read_trace",
     "run_scenario",
 ]

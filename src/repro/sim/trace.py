@@ -13,10 +13,10 @@ from __future__ import annotations
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Callable, Dict, Optional, Union
+from typing import IO, Any, Callable, Dict, List, Optional, Union
 
 from .events import EventBus
-from .observers import StatsObserver, TraceObserver
+from .observers import StatsObserver, TraceObserver, read_jsonl
 
 
 @dataclass(frozen=True)
@@ -117,6 +117,16 @@ def _trace_security(bus: EventBus, kind: "TLBKind", seed: int) -> str:
         f"[{vulnerability.pretty()}]: step 3 "
         f"{'missed' if missed else 'hit'}"
     )
+
+
+def read_trace(source: Union[str, Path, IO[str]]) -> List[Dict[str, Any]]:
+    """Load a :class:`TraceObserver` JSONL file back into event records.
+
+    Delegates to :func:`repro.sim.read_jsonl`, so a trace torn mid-record
+    by a killed tracer process is replayable up to its last whole event
+    (the torn tail is skipped with a warning).
+    """
+    return read_jsonl(source)
 
 
 #: Scenario name -> runner(bus, kind, seed) -> outcome line.

@@ -158,6 +158,46 @@ class BaseTLB(abc.ABC):
             1 for tlb_set in self._sets for entry in tlb_set if entry.valid
         )
 
+    def audit(self) -> List[str]:
+        """Structural self-check; returns human-readable violations.
+
+        The paper's security argument assumes the TLB state machine holds
+        its structural invariants at every step; this is the programmatic
+        form of the ``tests/tlb/test_invariants`` suite, callable against a
+        *live* (possibly fault-injected) instance: every valid entry must
+        sit in the set its VPN indexes to, and no set may hold two entries
+        answering the same (tag, ASID) lookup.  A clean simulator returns
+        ``[]`` always; the :mod:`repro.faults` detectors rely on seeded
+        corruption making this non-empty.
+        """
+        problems: List[str] = []
+        for index, tlb_set in enumerate(self._sets):
+            seen: dict = {}
+            for entry in tlb_set:
+                if not entry.valid:
+                    continue
+                expected = self.config.set_index_for_level(
+                    entry.vpn, entry.level
+                )
+                if expected != index:
+                    problems.append(
+                        f"entry vpn={entry.vpn:#x} asid={entry.asid} sits in"
+                        f" set {index}, indexes to set {expected}"
+                    )
+                lookup = (entry._tag(entry.vpn), entry.asid, entry.level)
+                if lookup in seen:
+                    problems.append(
+                        f"duplicate entries for vpn={entry.vpn:#x}"
+                        f" asid={entry.asid} in set {index}"
+                    )
+                seen[lookup] = entry
+        if self.occupancy() > self.config.entries:
+            problems.append(
+                f"occupancy {self.occupancy()} exceeds capacity"
+                f" {self.config.entries}"
+            )
+        return problems
+
     # -- fill helper shared by the designs ---------------------------------------
 
     def _fill_entry(

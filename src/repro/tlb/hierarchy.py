@@ -13,7 +13,7 @@ evictions remain attacker-observable through the miss latency.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from .base import AccessResult, BaseTLB, Translator, WalkResult
 from .stats import TLBStats
@@ -88,6 +88,21 @@ class TwoLevelTLB:
 
     def resident(self, vpn: int, asid: int) -> bool:
         return self.l1.resident(vpn, asid) or self.l2.resident(vpn, asid)
+
+    def entries(self):
+        """All valid entries across both levels (copies), for inspection."""
+        return self.l1.entries() + self.l2.entries()
+
+    def occupancy(self) -> int:
+        return self.l1.occupancy() + self.l2.occupancy()
+
+    def audit(self) -> List[str]:
+        """Per-level structural self-check (see :meth:`BaseTLB.audit`)."""
+        return [
+            f"{label}: {problem}"
+            for label, level in (("L1", self.l1), ("L2", self.l2))
+            for problem in level.audit()
+        ]
 
     def set_secure_region(
         self, sbase: int, ssize: int, victim_asid: Optional[int] = None

@@ -1,0 +1,53 @@
+"""The sim detection-matrix campaign: zero silent faults, ever."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    SIM_FAULT_KINDS,
+    default_sim_plan,
+    run_sim_campaign,
+)
+
+
+class TestSimCampaign:
+    @pytest.mark.parametrize("design", ["SA", "SP", "RF"])
+    def test_zero_silent_faults(self, design):
+        report = run_sim_campaign(design=design)
+        assert report.baseline_violations == []
+        assert report.silent_faults == []
+        assert report.not_injected == []
+        assert report.ok
+
+    def test_matrix_covers_every_fault_class(self):
+        report = run_sim_campaign()
+        assert [row.kind for row in report.rows] == list(SIM_FAULT_KINDS)
+        for row in report.rows:
+            assert row.injections >= 1
+            assert row.detected_by
+            assert row.evidence
+
+    def test_report_is_deterministic(self):
+        first = run_sim_campaign(seed=5).to_dict()
+        second = run_sim_campaign(seed=5).to_dict()
+        assert first == second
+
+    def test_report_serializes(self):
+        report = run_sim_campaign()
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["ok"] is True
+        text = report.to_text()
+        assert "verdict: OK" in text
+        for kind in SIM_FAULT_KINDS:
+            assert kind in text
+
+    def test_explicit_plan_round_trips_through_json(self):
+        plan = default_sim_plan(seed=13)
+        from repro.faults import FaultPlan
+
+        replayed = run_sim_campaign(
+            plan=FaultPlan.from_json(plan.to_json())
+        )
+        direct = run_sim_campaign(plan=plan)
+        assert replayed.to_dict() == direct.to_dict()

@@ -1,0 +1,137 @@
+"""Detector units: quiet on clean runs, loud on targeted corruption."""
+
+import pytest
+
+from repro.faults import DetectorSuite, SimFaultInjector, FaultSpec
+from repro.faults.campaign import build_campaign_memory, drive_workload
+
+
+@pytest.fixture
+def clean_memory():
+    return build_campaign_memory("SA")
+
+
+class TestCleanBaseline:
+    @pytest.mark.parametrize("design", ["SA", "SP", "RF"])
+    def test_no_false_positives(self, design):
+        memory = build_campaign_memory(design)
+        suite = DetectorSuite.standard(
+            memory, strict_shadow=(design != "RF")
+        )
+        drive_workload(memory)
+        assert suite.finish() == {}
+        assert suite.fired == ()
+
+
+class TestSingleFaults:
+    def _run(self, memory, kind, **spec_kwargs):
+        import random
+
+        suite = DetectorSuite.standard(memory)
+        spec = FaultSpec(kind=kind, **spec_kwargs)
+        injector = SimFaultInjector(
+            memory=memory, spec=spec, rng=random.Random(99)
+        ).arm()
+        drive_workload(memory)
+        return injector, suite.finish()
+
+    def test_ppn_flip_caught_by_oracle_and_shadow(self, clean_memory):
+        injector, fired = self._run(clean_memory, "bitflip-ppn")
+        assert injector.injected
+        assert "translation-oracle" in fired
+        assert "shadow-model" in fired
+
+    def test_asid_flip_caught(self, clean_memory):
+        injector, fired = self._run(clean_memory, "bitflip-asid")
+        assert injector.injected
+        assert fired  # any detector: the entry no longer matches its fill
+
+    def test_sec_flip_caught_by_sec_bit_checker(self, clean_memory):
+        injector, fired = self._run(clean_memory, "bitflip-sec")
+        assert injector.injected
+        assert "sec-bit" in fired
+
+    def test_dropped_flush_caught_synchronously(self, clean_memory):
+        injector, fired = self._run(clean_memory, "drop-flush", trigger=2)
+        assert injector.injected
+        assert "flush-efficacy" in fired
+
+    def test_walk_jitter_breaks_the_level_multiple(self, clean_memory):
+        injector, fired = self._run(clean_memory, "walk-jitter")
+        assert injector.injected
+        assert "walk-timing" in fired
+
+    def test_spurious_evict_caught_by_shadow(self, clean_memory):
+        # Trigger past the last re-touch of any live entry, so a refill
+        # can never legally mask the silent eviction.
+        injector, fired = self._run(clean_memory, "spurious-evict", trigger=64)
+        assert injector.injected
+        assert "shadow-model" in fired
+
+
+class TestInjectorContract:
+    def test_runner_kind_cannot_be_armed(self, clean_memory):
+        import random
+
+        injector = SimFaultInjector(
+            memory=clean_memory,
+            spec=FaultSpec(kind="hang"),
+            rng=random.Random(0),
+        )
+        with pytest.raises(ValueError, match="runner-layer"):
+            injector.arm()
+
+    def test_injection_is_silent_on_the_bus(self, clean_memory):
+        """The fault itself must not announce itself via events."""
+        import random
+
+        flushes = []
+        clean_memory.bus.on_flush(flushes.append)
+        evicts = []
+        clean_memory.bus.on_evict(evicts.append)
+        SimFaultInjector(
+            memory=clean_memory,
+            spec=FaultSpec(kind="spurious-evict", trigger=5),
+            rng=random.Random(1),
+        ).arm()
+        clean_memory.context_switch(0)
+        for vpn in range(0x100, 0x108):
+            clean_memory.translate(vpn, 0)
+        # The spurious eviction dropped an entry without any event.
+        assert not flushes
+        assert not evicts
+        assert clean_memory.tlb.occupancy() < 8
+
+    def test_summary_reports_injections(self, clean_memory):
+        import random
+
+        injector = SimFaultInjector(
+            memory=clean_memory,
+            spec=FaultSpec(kind="bitflip-ppn", trigger=3),
+            rng=random.Random(2),
+        ).arm()
+        assert injector.summary() is None
+        clean_memory.context_switch(0)
+        for vpn in range(0x100, 0x108):
+            clean_memory.translate(vpn, 0)
+        summary = injector.summary()
+        assert summary is not None
+        assert summary["kind"] == "bitflip-ppn"
+        assert summary["injections"] == 1
+
+
+class TestAudit:
+    def test_audit_clean_tlb_is_empty(self, clean_memory):
+        drive_workload(clean_memory)
+        assert clean_memory.tlb.audit() == []
+
+    def test_audit_flags_misplaced_entry(self, clean_memory):
+        clean_memory.context_switch(0)
+        for vpn in range(0x100, 0x110):
+            clean_memory.translate(vpn, 0)
+        tlb = clean_memory.tlb
+        # Corrupt an entry's VPN so it no longer indexes to its set.
+        entry = next(e for s in tlb._sets for e in s if e.valid)
+        entry.vpn ^= 0x8  # flips a set-index bit for 16-set geometries
+        problems = tlb.audit()
+        assert problems and "indexes to set" in problems[0]

@@ -1,0 +1,69 @@
+"""Cache robustness: torn entries are misses, writes are atomic."""
+
+import pickle
+
+from repro.runner import ResultCache, Unit, unit_cache_key
+
+
+def make_unit(**overrides):
+    fields = dict(
+        experiment="table4",
+        key="SA/x",
+        params={"kind": "SA", "row": 0, "trials": 40},
+        seed=123,
+    )
+    fields.update(overrides)
+    return Unit(**fields)
+
+
+def entry_path(cache_dir, unit, version="v1"):
+    key = unit_cache_key(unit, version)
+    return cache_dir / key[:2] / f"{key}.pkl"
+
+
+class TestTornEntries:
+    def test_truncated_pickle_is_counted_and_repaired(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        unit = make_unit()
+        cache.put(unit, {"answer": 42})
+        path = entry_path(tmp_path, unit)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # torn mid-write
+
+        hit, _ = cache.get(unit)
+        assert not hit
+        assert cache.stats.corrupt == 1
+        assert cache.stats.misses == 1
+
+        # The next store repairs the entry in place.
+        cache.put(unit, {"answer": 42})
+        hit, value = cache.get(unit)
+        assert hit and value == {"answer": 42}
+        assert cache.stats.corrupt == 1
+
+    def test_empty_entry_is_a_miss_not_an_error(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        unit = make_unit()
+        cache.put(unit, "value")
+        entry_path(tmp_path, unit).write_bytes(b"")
+        hit, _ = cache.get(unit)
+        assert not hit
+        assert cache.stats.corrupt == 1
+
+
+class TestAtomicWrites:
+    def test_no_staging_debris_after_puts(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        for index in range(5):
+            cache.put(make_unit(key=f"SA/{index}"), index)
+        assert list(tmp_path.rglob("*.tmp*")) == []
+        assert len(list(tmp_path.rglob("*.pkl"))) == 5
+        assert len(list(tmp_path.rglob("*.json"))) == 5
+
+    def test_entry_is_a_whole_pickle(self, tmp_path):
+        cache = ResultCache(tmp_path, code_version="v1")
+        unit = make_unit()
+        cache.put(unit, {"nested": [1, 2, 3]})
+        record = pickle.loads(entry_path(tmp_path, unit).read_bytes())
+        assert record["value"] == {"nested": [1, 2, 3]}
+        assert record["code_version"] == "v1"

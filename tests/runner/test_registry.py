@@ -32,12 +32,16 @@ EXPECTED_COUNTS = {
 
 class TestEnumeration:
     def test_every_experiment_registered(self):
-        # Other test modules may register toy experiments; the standard
-        # set must still be present, first, and in presentation order.
+        # Other test modules may register toy experiments, and the chaos
+        # campaign its probe; the standard set must still be present,
+        # first, and in presentation order.
+        from repro.faults.campaign import PROBE_EXPERIMENT
+
         names = [
             experiment.name
             for experiment in all_experiments()
             if not experiment.name.startswith("toy-")
+            and experiment.name != PROBE_EXPERIMENT
         ]
         assert names == list(EXPECTED_COUNTS)
 

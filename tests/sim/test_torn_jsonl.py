@@ -1,0 +1,70 @@
+"""Torn-tail tolerance of the JSONL readers (interrupted writers)."""
+
+import io
+import json
+
+import pytest
+
+from repro.sim import TornRecordError, read_jsonl
+from repro.sim.trace import read_trace
+from repro.runner import replay_run_log
+
+RECORDS = [{"event": "a", "n": 1}, {"event": "b", "n": 2}]
+
+
+def write_lines(path, lines):
+    path.write_text("\n".join(lines) + "\n" if lines else "")
+    return path
+
+
+class TestReadJsonl:
+    def test_clean_file_round_trips(self, tmp_path):
+        path = write_lines(
+            tmp_path / "log.jsonl", [json.dumps(r) for r in RECORDS]
+        )
+        assert read_jsonl(path) == RECORDS
+
+    def test_torn_trailing_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(r) for r in RECORDS)
+            + '\n{"event": "c", "n":'  # killed mid-write, no newline
+        )
+        with pytest.warns(UserWarning, match="torn trailing"):
+            assert read_jsonl(path) == RECORDS
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = write_lines(
+            tmp_path / "log.jsonl",
+            [json.dumps(RECORDS[0]), '{"torn":', json.dumps(RECORDS[1])],
+        )
+        with pytest.raises(TornRecordError) as excinfo:
+            read_jsonl(path)
+        assert excinfo.value.line_number == 2
+
+    def test_blank_lines_after_torn_tail_stay_a_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text(json.dumps(RECORDS[0]) + '\n{"torn":\n\n')
+        with pytest.warns(UserWarning):
+            assert read_jsonl(path) == RECORDS[:1]
+
+    def test_reads_open_streams(self):
+        stream = io.StringIO(json.dumps(RECORDS[0]) + "\n")
+        assert read_jsonl(stream) == RECORDS[:1]
+
+
+class TestDelegates:
+    def test_read_trace_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(RECORDS[0]) + '\n{"event": "acc')
+        with pytest.warns(UserWarning):
+            assert read_trace(path) == RECORDS[:1]
+
+    def test_replay_run_log_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "run_log.jsonl"
+        path.write_text(json.dumps(RECORDS[0]) + '\n{"event": "run_en')
+        with pytest.warns(UserWarning):
+            assert replay_run_log(path) == RECORDS[:1]
+
+    def test_replay_run_log_missing_file_is_empty(self, tmp_path):
+        assert replay_run_log(tmp_path / "absent.jsonl") == []
