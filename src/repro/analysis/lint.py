@@ -23,8 +23,10 @@ over Python ASTs:
     timestamps never feed simulation state.
 
 ``frozen-event-dataclasses``
-    Event record dataclasses (``*Event``) stay ``frozen=True``: observers
-    must not be able to mutate the stream other observers see.
+    Event record dataclasses (``*Event``) stay ``frozen=True, slots=True``:
+    observers must not be able to mutate the stream other observers see
+    (frozen), and per-event ``__dict__`` allocations would dominate traced
+    runs (slots).
 
 ``no-snapshot-mutation``
     Values returned by ``snapshot()``/``entries()`` are isolated copies
@@ -185,6 +187,9 @@ class DeterministicSim(Rule):
     )
     #: Orchestration telemetry stamps real time; simulation never reads it.
     allowed_prefixes = ("repro/runner/",)
+    #: The regression bench is a stopwatch around the simulator, not a
+    #: simulation path: its perf_counter reads never feed simulated state.
+    allowed_files = ("repro/perf/bench.py",)
 
     def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
         for node in ast.walk(tree):
@@ -227,7 +232,9 @@ class DeterministicSim(Rule):
 
 class FrozenEventDataclasses(Rule):
     name = "frozen-event-dataclasses"
-    description = "event record dataclasses (*Event) must be frozen=True"
+    description = (
+        "event record dataclasses (*Event) must be frozen=True, slots=True"
+    )
 
     def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
         for node in ast.walk(tree):
@@ -237,6 +244,7 @@ class FrozenEventDataclasses(Rule):
                 continue
             decorated = False
             frozen = False
+            slots = False
             for decorator in node.decorator_list:
                 if (
                     isinstance(decorator, ast.Name)
@@ -250,17 +258,27 @@ class FrozenEventDataclasses(Rule):
                     decorated = True
                     for keyword in decorator.keywords:
                         if (
-                            keyword.arg == "frozen"
-                            and isinstance(keyword.value, ast.Constant)
+                            isinstance(keyword.value, ast.Constant)
                             and keyword.value.value is True
                         ):
-                            frozen = True
-            if decorated and not frozen:
+                            if keyword.arg == "frozen":
+                                frozen = True
+                            elif keyword.arg == "slots":
+                                slots = True
+            if decorated and not (frozen and slots):
+                missing = ", ".join(
+                    flag
+                    for flag, present in (("frozen=True", frozen),
+                                          ("slots=True", slots))
+                    if not present
+                )
                 yield self.finding(
                     node,
                     relpath,
                     f"event dataclass {node.name} must be @dataclass"
-                    "(frozen=True): observers share the stream",
+                    f"(frozen=True, slots=True) (missing {missing}):"
+                    " observers share the stream, and events are the"
+                    " hot-path allocation",
                 )
 
 

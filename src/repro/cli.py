@@ -17,6 +17,7 @@
 ``trace``      a toy scenario with the JSONL event tracer attached
 ``run-all``    every experiment, sharded across workers with caching
 ``analyze``    static leakage checker (guest) + invariant linter (host)
+``bench``      fast-path vs reference regression bench (BENCH_fastpath.json)
 =============  =============================================================
 
 Full-fidelity runs (the paper's 500-trial protocol, the complete Figure 7
@@ -256,6 +257,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_run_all(args: argparse.Namespace) -> int:
     from repro.runner import run_all
 
+    options = {"fig7_fastpath": False} if args.no_fastpath else None
     report = run_all(
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -263,6 +265,7 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         results_dir=args.results_dir,
         cache_dir=args.cache_dir,
         log_path=args.log,
+        options=options,
         progress=not args.quiet,
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
@@ -309,6 +312,37 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return run(Path(args.workdir))
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
         return run(Path(tmp))
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.bench import CounterDivergence, bench, format_report
+
+    try:
+        report = bench(
+            quick=args.quick,
+            events=args.events,
+            skip_cells=args.skip_cells,
+        )
+    except CounterDivergence as divergence:
+        print(f"COUNTER DIVERGENCE: {divergence}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(format_report(report))
+    # The speedup floor only gates full-size runs: --quick is the CI
+    # differential smoke, whose shared machines make timing meaningless
+    # (counter divergence still exits 2 above).
+    if not args.quick and not report["headline"]["meets_floor"]:
+        return 1
+    return 0
 
 
 def _add_design_argument(parser: argparse.ArgumentParser) -> None:
@@ -462,9 +496,53 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_all.add_argument(
+        "--no-fastpath", action="store_true",
+        help=(
+            "drive the Figure 7 cells through the reference model instead"
+            " of the repro.sim.kernel fast path (results are identical;"
+            " this is the differential escape hatch)"
+        ),
+    )
+    run_all.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     run_all.set_defaults(func=_cmd_run_all)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="fast-path vs reference regression bench",
+        description=(
+            "Replay Figure 7 SPEC traces and the protected RSA trace"
+            " through the reference model and the repro.sim.kernel fast"
+            " path, verify the counters are identical, and report"
+            " accesses/second and speedups (headline floor: 3x geometric"
+            " mean).  Exit codes: 2 on counter divergence, 1 when a"
+            " full-size run misses the floor."
+        ),
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-smoke sizing (still differentially strict)",
+    )
+    bench.add_argument(
+        "--events", type=int, default=None,
+        help="replay length per trace (default: 400000, or 60000 with"
+             " --quick)",
+    )
+    bench.add_argument(
+        "--skip-cells", action="store_true",
+        help="skip the end-to-end Figure 7 cell tier",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="print the report as JSON instead of text",
+    )
+    bench.add_argument(
+        "--out", default="BENCH_fastpath.json", metavar="PATH",
+        help="write the JSON report here (default: BENCH_fastpath.json;"
+             " empty string disables)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     chaos = subparsers.add_parser(
         "chaos",

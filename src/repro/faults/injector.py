@@ -87,12 +87,12 @@ class SimFaultInjector:
 
         self.memory.translate = translate  # type: ignore[method-assign]
 
-    def _live_entries(self) -> List[Tuple[int, TLBEntry]]:
-        """(set index, live entry) pairs, reaching under the facade."""
+    def _live_entries(self) -> List[Tuple[Any, int, TLBEntry]]:
+        """(owning level, set index, live entry), reaching under the facade."""
         tlb = self.memory.tlb
         levels = [tlb.l1, tlb.l2] if hasattr(tlb, "l1") else [tlb]
         return [
-            (index, entry)
+            (level, index, entry)
             for level in levels
             for index, tlb_set in enumerate(level._sets)
             for entry in tlb_set
@@ -103,7 +103,7 @@ class SimFaultInjector:
         live = self._live_entries()
         if not live:
             return
-        _index, entry = self.rng.choice(live)
+        owner, _index, entry = self.rng.choice(live)
         kind = self.spec.kind
         if kind == "bitflip-ppn":
             bit = self.rng.randrange(_FLIP_BITS)
@@ -122,6 +122,19 @@ class SimFaultInjector:
         elif kind == "spurious-evict":
             detail = f"dropped vpn={entry.vpn:#x} asid={entry.asid}"
             entry.invalidate()
+        elif kind == "index-corrupt":
+            # Rebind the entry's fast-index slot under a key it does not
+            # own: the entry array and the repro.sim.kernel lookup index
+            # now disagree, which is exactly what BaseTLB.audit()'s
+            # index cross-check (the tlb-audit detector) must flag.
+            key = entry.index_key()
+            bogus = (key[0] ^ 1, key[1], key[2])
+            owner._index.pop(key, None)
+            owner._index[bogus] = entry
+            detail = (
+                f"fast-index slot of vpn={entry.vpn:#x} asid={entry.asid}"
+                f" rebound from {key} to {bogus}"
+            )
         else:  # pragma: no cover - arm() routes kinds
             raise AssertionError(kind)
         self.injected.append(

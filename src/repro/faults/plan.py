@@ -37,6 +37,10 @@ SIM_FAULT_KINDS: Tuple[str, ...] = (
     "walk-jitter",
     # Silently invalidate a live entry with no eviction or flush event.
     "spurious-evict",
+    # Corrupt the fast-lookup index (repro.sim.kernel): rebind a live
+    # entry's index slot under a wrong key, breaking the index/array
+    # coherence invariant the fast path relies on.
+    "index-corrupt",
 )
 
 #: Runner-layer fault classes: orchestration-stack misbehaviour.

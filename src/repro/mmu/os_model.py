@@ -178,8 +178,11 @@ class ToyOS:
         """RISC-V ``sfence.vma``: invalidate TLB translations.
 
         With no operands, everything is flushed; with an ASID, that address
-        space; with both, one page of one address space.
+        space; with both, one page of one address space.  The walker's walk
+        memo is fenced with the same granularity: after the fence, the next
+        walk re-reads the page table.
         """
+        self.walker.invalidate_memo(asid=asid, vpn=vpn)
         if self.tlb is None:
             return
         if vpn is None and asid is None:

@@ -91,6 +91,18 @@ class PageTable:
         self.asid = asid
         self._root = _Node()
         self._mapped = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mapping-change counter.
+
+        Bumped by every :meth:`map_page` / :meth:`unmap_page` that alters a
+        translation; the walker's memo stores the version it walked under
+        and treats any bump as wholesale invalidation, so a remap can never
+        serve a stale memoized :class:`WalkResult`.
+        """
+        return self._version
 
     def __len__(self) -> int:
         return self._mapped
@@ -128,6 +140,7 @@ class PageTable:
         leaf_index = indices[depth]
         if leaf_index not in node.children:
             self._mapped += 1
+        self._version += 1
         entry = PageTableEntry(
             ppn=ppn,
             permissions=permissions,
@@ -146,6 +159,7 @@ class PageTable:
             if isinstance(child, PageTableEntry):
                 del node.children[index]
                 self._mapped -= 1
+                self._version += 1
                 return True
             if not isinstance(child, _Node):
                 return False

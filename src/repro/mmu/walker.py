@@ -15,7 +15,7 @@ request, so a walk for an RFE-drawn address never page-faults.  With
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.tlb.base import WalkResult
 
@@ -50,10 +50,44 @@ class PageTableWalker:
         self._frame_allocator = frame_allocator or _SequentialFrames().allocate
         self.walks = 0
         self.faults = 0
+        #: Walk memo: (asid, vpn) -> (table version walked under, result).
+        #: A memo hit still counts as a walk and charges the same cycles
+        #: (RISC-V has no page-walk cache, footnote 3 -- architecturally
+        #: every walk is real; the memo only skips the Python radix
+        #: traversal and the WalkResult allocation, which is legal because
+        #: WalkResult is frozen).  Any page-table version bump, re-register
+        #: or ``sfence.vma`` invalidates.
+        self._memo: Dict[Tuple[int, int], Tuple[int, WalkResult]] = {}
 
     def register(self, table: PageTable) -> None:
         """Attach an address space (keyed by its ASID)."""
         self._tables[table.asid] = table
+        self.invalidate_memo(asid=table.asid)
+
+    def invalidate_memo(
+        self, asid: Optional[int] = None, vpn: Optional[int] = None
+    ) -> None:
+        """Drop memoized walks (all, per-ASID, per-page, or one).
+
+        Wired to ``sfence.vma`` by the OS model.  Page-table version
+        checks already make the memo remap-safe; this keeps the fence's
+        architectural contract explicit and bounds memo growth across
+        address-space teardown.
+        """
+        if asid is None and vpn is None:
+            self._memo.clear()
+        elif vpn is None:
+            self._memo = {
+                key: value for key, value in self._memo.items()
+                if key[0] != asid
+            }
+        elif asid is None:
+            self._memo = {
+                key: value for key, value in self._memo.items()
+                if key[1] != vpn
+            }
+        else:
+            self._memo.pop((asid, vpn), None)
 
     def table_for(self, asid: int) -> PageTable:
         try:
@@ -68,6 +102,10 @@ class PageTableWalker:
     def walk(self, vpn: int, asid: int) -> WalkResult:
         """Resolve a translation, charging one access per level touched."""
         self.walks += 1
+        key = (asid, vpn)
+        memo = self._memo.get(key)
+        if memo is not None and memo[0] == self._tables[asid].version:
+            return memo[1]
         table = self.table_for(asid)
         levels_touched, entry = table.walk_levels(vpn)
         if entry is None:
@@ -78,11 +116,13 @@ class PageTableWalker:
                 vpn, self._frame_allocator(), Permission.rw()
             )
             levels_touched = LEVELS
-        return WalkResult(
+        result = WalkResult(
             ppn=entry.translate(vpn),
             cycles=levels_touched * self.config.cycles_per_level,
             level=entry.level,
         )
+        self._memo[key] = (table.version, result)
+        return result
 
     def peek(self, vpn: int, asid: int) -> Optional[int]:
         """Side-effect-free translation lookup: the PPN, or ``None``.

@@ -6,7 +6,10 @@
 * :mod:`repro.perf.harness` -- the Figure 7 grid (RSA/SecRSA alone and with
   each SPEC workload over every configuration);
 * :mod:`repro.perf.area` -- the Table 5 area model, least-squares
-  calibrated against the paper's synthesis results.
+  calibrated against the paper's synthesis results;
+* :mod:`repro.perf.bench` -- the fast-path regression bench
+  (``python -m repro bench``), timing the :mod:`repro.sim.kernel` fast
+  path against the reference model with counter-equality checks.
 """
 
 from .area import (

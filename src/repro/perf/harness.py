@@ -47,6 +47,10 @@ class PerfSettings:
     quantum: int = 10_000
     seed: int = 0
     switch_policy: SwitchPolicy = SwitchPolicy.KEEP
+    #: Drive the run through the :mod:`repro.sim.kernel` fast path.
+    #: Results are identical either way (differentially verified); False
+    #: selects the reference loop (``repro run-all --no-fastpath``).
+    fastpath: bool = True
 
 
 @dataclass(frozen=True)
@@ -151,6 +155,7 @@ def run_cell(
         switch_policy=settings.switch_policy,
         seed=settings.seed,
         bus=bus,
+        fastpath=settings.fastpath,
     )
     return Figure7Cell(
         kind=kind,

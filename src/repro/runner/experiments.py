@@ -36,6 +36,10 @@ DEFAULT_OPTIONS: Dict[str, Any] = {
     "fig7_spec_instructions": 150_000,
     "fig7_key_bits": 128,
     "fig7_rsa_runs": [50],
+    #: Drive Figure 7 cells through the repro.sim.kernel fast path.  The
+    #: artifacts are byte-identical either way (differentially verified);
+    #: ``repro run-all --no-fastpath`` flips this to the reference model.
+    "fig7_fastpath": True,
     "series_rsa_runs": [50, 100, 150],
     "mitigation_trials": 200,
     "hierarchy_trials": 100,
@@ -228,6 +232,7 @@ class Figure7Experiment(Experiment):
     def units(self, options: Mapping[str, Any]) -> List[Unit]:
         spec_instructions = opt(options, "fig7_spec_instructions")
         key_bits = opt(options, "fig7_key_bits")
+        fastpath = opt(options, "fig7_fastpath")
         units = []
         grid, series = _fig7_unit_sets(options)
         for part, cells in (("grid", grid), ("series", series)):
@@ -243,6 +248,7 @@ class Figure7Experiment(Experiment):
                         rsa_runs=cell.rsa_runs,
                         spec_instructions=spec_instructions,
                         key_bits=key_bits,
+                        fastpath=fastpath,
                     )
                 )
         return units
@@ -255,6 +261,7 @@ class Figure7Experiment(Experiment):
         settings = PerfSettings(
             spec_instructions=params["spec_instructions"],
             key_bits=params["key_bits"],
+            fastpath=params.get("fastpath", True),
         )
         return run_cell(
             TLBKind(params["kind"]),

@@ -17,6 +17,10 @@ trace-driven timing model, each end-to-end attack, the security harness).
   cheap aggregate counters without touching the hot path when detached.
 * :class:`SetProber` -- the shared prime / probe-and-classify helper the
   attack modules previously re-implemented individually.
+* :mod:`repro.sim.kernel` -- the allocation-free fast-path translation
+  kernel (packed-int results, compiled traces) behind
+  :meth:`MemorySystem.translate_fast`; differentially verified against
+  the reference path (``docs/performance.md``).
 
 See ``docs/architecture.md`` for the observer API and event schema.
 """
@@ -29,6 +33,14 @@ from .events import (
     FillEvent,
     FlushEvent,
     WalkEvent,
+)
+from .kernel import (
+    CompiledTrace,
+    pack_result,
+    packed_cycles,
+    packed_filled,
+    packed_hit,
+    supports_fastpath,
 )
 from .observers import (
     JsonlWriter,
@@ -45,6 +57,7 @@ __all__ = [
     "SCENARIOS",
     "TraceReport",
     "AccessEvent",
+    "CompiledTrace",
     "ContextSwitchEvent",
     "EventBus",
     "EvictEvent",
@@ -58,8 +71,13 @@ __all__ = [
     "TornRecordError",
     "TraceObserver",
     "WalkEvent",
+    "pack_result",
+    "packed_cycles",
+    "packed_filled",
+    "packed_hit",
     "pages_for_set",
     "read_jsonl",
     "read_trace",
     "run_scenario",
+    "supports_fastpath",
 ]

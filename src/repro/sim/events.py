@@ -1,7 +1,10 @@
 """Typed events and the publish/subscribe bus of the simulation core.
 
 Each event is an immutable record of one architecturally visible action at
-the :class:`repro.sim.MemorySystem` boundary.  The six event types mirror
+the :class:`repro.sim.MemorySystem` boundary.  All six are frozen *and*
+slotted: traced runs construct one per action, so the fixed layout keeps
+them small and their construction cheap (the ``repro analyze`` linter
+enforces both flags).  The six event types mirror
 the paper's Section 4 flow-chart inputs:
 
 =====================  =====================================================
@@ -30,7 +33,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Type
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessEvent:
     """One translation request and its outcome."""
 
@@ -44,7 +47,7 @@ class AccessEvent:
     filled: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WalkEvent:
     """The page-table walk performed on a miss."""
 
@@ -53,7 +56,7 @@ class WalkEvent:
     cycles: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FillEvent:
     """The requested translation was installed in the TLB."""
 
@@ -61,7 +64,7 @@ class FillEvent:
     asid: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EvictEvent:
     """A valid entry was displaced by a fill."""
 
@@ -70,7 +73,7 @@ class EvictEvent:
     level: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushEvent:
     """A TLB maintenance operation.
 
@@ -85,7 +88,7 @@ class FlushEvent:
     present: bool | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContextSwitchEvent:
     """The running address space changed."""
 

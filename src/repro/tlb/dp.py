@@ -50,7 +50,7 @@ class DynamicPartitionTLB(StaticPartitionTLB):
         for tlb_set in self._sets:
             for way in range(low, high):
                 if tlb_set[way].valid:
-                    tlb_set[way].invalidate()
+                    self._invalidate_entry(tlb_set[way])
                     invalidated += 1
         return invalidated
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 VPN_BITS_PER_LEVEL = 9
 
 
-@dataclass
+@dataclass(slots=True)
 class TLBEntry:
     """One TLB slot.  ``valid=False`` slots hold no translation.
 
@@ -25,6 +25,9 @@ class TLBEntry:
     TLBs carry extra logic for multiple page sizes): a level-``l`` entry
     stores a superpage-aligned translation and covers every page whose top
     VPN bits match.
+
+    Slotted: the timing model touches millions of entries per run, and a
+    fixed layout keeps each one small and its attribute reads cheap.
     """
 
     vpn: int = 0
@@ -43,6 +46,16 @@ class TLBEntry:
 
     def _tag(self, vpn: int) -> int:
         return vpn >> (VPN_BITS_PER_LEVEL * self.level)
+
+    def index_key(self) -> tuple:
+        """The fast-lookup key this entry answers to.
+
+        :class:`repro.tlb.BaseTLB` maintains a dict of these keys over its
+        valid entries; a lookup probes ``(tag_l(vpn), asid, l)`` for each
+        superpage level ``l``, so the key must be derived from the entry's
+        *own* level (superpage entries answer for every covered page).
+        """
+        return (self.vpn >> (VPN_BITS_PER_LEVEL * self.level), self.asid, self.level)
 
     def matches(self, vpn: int, asid: int) -> bool:
         """True on a hit: valid, covering ``vpn``, with matching process ID.

@@ -51,6 +51,16 @@ class TwoLevelTLB:
         self.l1 = l1
         self.l2 = l2
         self.name = name
+        #: Adapter reused across accesses while the walker stays the same,
+        #: so the hot loop does not allocate one per translation.
+        self._adapter: Optional[_LevelAdapter] = None
+
+    def _adapter_for(self, translator: Translator) -> _LevelAdapter:
+        adapter = self._adapter
+        if adapter is None or adapter._walker is not translator:
+            adapter = _LevelAdapter(self.l2, translator)
+            self._adapter = adapter
+        return adapter
 
     # -- the BaseTLB-compatible surface -----------------------------------------
 
@@ -63,8 +73,24 @@ class TwoLevelTLB:
         return self.l2.stats
 
     def translate(self, vpn: int, asid: int, translator: Translator) -> AccessResult:
-        adapter = _LevelAdapter(self.l2, translator)
-        return self.l1.translate(vpn, asid, adapter)
+        return self.l1.translate(vpn, asid, self._adapter_for(translator))
+
+    def translate_fast(self, vpn: int, asid: int, translator: Translator) -> int:
+        """Packed-int translate (see :meth:`BaseTLB.translate_fast`).
+
+        Only the L1 hit path is allocation-free; an L1 miss consults the
+        L2 through the ordinary adapter, which is already the slow
+        (walk-latency) path.
+        """
+        return self.l1.translate_fast(vpn, asid, self._adapter_for(translator))
+
+    def translate_slice(
+        self, vpns, start: int, stop: int, asid: int, translator: Translator
+    ):
+        """Batched fast path (see :meth:`BaseTLB.translate_slice`)."""
+        return self.l1.translate_slice(
+            vpns, start, stop, asid, self._adapter_for(translator)
+        )
 
     def flush_all(self) -> None:
         self.l1.flush_all()

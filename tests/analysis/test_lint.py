@@ -90,9 +90,17 @@ class TestFrozenEventDataclasses:
         )
         assert rules_hit(source) == ["frozen-event-dataclasses"]
 
-    def test_frozen_event_dataclass_is_fine(self):
+    def test_frozen_without_slots_is_flagged(self):
         source = (
             "@dataclass(frozen=True)\n"
+            "class AccessEvent:\n"
+            "    vpn: int\n"
+        )
+        assert rules_hit(source) == ["frozen-event-dataclasses"]
+
+    def test_frozen_slotted_event_dataclass_is_fine(self):
+        source = (
+            "@dataclass(frozen=True, slots=True)\n"
             "class AccessEvent:\n"
             "    vpn: int\n"
         )

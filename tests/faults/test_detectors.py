@@ -68,6 +68,11 @@ class TestSingleFaults:
         assert injector.injected
         assert "shadow-model" in fired
 
+    def test_index_corrupt_caught_by_audit(self, clean_memory):
+        injector, fired = self._run(clean_memory, "index-corrupt")
+        assert injector.injected
+        assert "tlb-audit" in fired
+
 
 class TestInjectorContract:
     def test_runner_kind_cannot_be_armed(self, clean_memory):
@@ -135,3 +140,17 @@ class TestAudit:
         entry.vpn ^= 0x8  # flips a set-index bit for 16-set geometries
         problems = tlb.audit()
         assert problems and "indexes to set" in problems[0]
+
+    def test_audit_flags_fast_index_corruption(self, clean_memory):
+        clean_memory.context_switch(0)
+        for vpn in range(0x100, 0x110):
+            clean_memory.translate(vpn, 0)
+        tlb = clean_memory.tlb
+        # Rebind one live entry's fast-index slot under a bogus key, the
+        # way the index-corrupt chaos fault does.
+        entry = next(e for s in tlb._sets for e in s if e.valid)
+        key = entry.index_key()
+        del tlb._index[key]
+        tlb._index[(key[0] ^ 1, key[1], key[2])] = entry
+        problems = tlb.audit()
+        assert any("fast index" in p or "fast-index" in p for p in problems)

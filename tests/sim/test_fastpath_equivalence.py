@@ -1,0 +1,293 @@
+"""Differential verification of the repro.sim.kernel fast path.
+
+The reference model (``translate`` returning ``AccessResult`` objects) is
+the specification; the fast path (``translate_fast`` packed ints and the
+batched ``translate_slice``) must produce identical hit/miss/cycle
+counters and identical TLB state for every design, including the RF TLB's
+no-fill buffer path and superpage entries (which exercise the level>0
+index probes).  Shared random traces are replayed through both paths on
+twin instances; any divergence is a fast-path bug by definition.
+"""
+
+import random
+
+import pytest
+
+from repro.mmu import SwitchPolicy, make_walker
+from repro.perf.harness import PerfSettings, Scenario, run_cell
+from repro.perf.timing import ScheduledProcess, simulate
+from repro.security.kinds import TLBKind, make_tlb, make_two_level_tlb
+from repro.sim.kernel import (
+    CompiledTrace,
+    pack_result,
+    packed_cycles,
+    packed_filled,
+    packed_hit,
+    supports_fastpath,
+)
+from repro.sim.system import MemorySystem
+from repro.tlb.config import TLBConfig
+from repro.workloads.spec import by_name
+
+
+def random_trace(seed, length=2_000, pages=96, asids=(1, 2)):
+    """A shared (vpn, asid) access trace with locality and churn."""
+    rng = random.Random(seed)
+    hot = [rng.randrange(pages) for _ in range(12)]
+    trace = []
+    for _ in range(length):
+        vpn = rng.choice(hot) if rng.random() < 0.7 else rng.randrange(pages)
+        trace.append((0x100 + vpn, rng.choice(asids)))
+    return trace
+
+
+def make_pair(kind, **kwargs):
+    """Twin TLB instances (identical construction, independent state)."""
+    config = kwargs.pop("config", TLBConfig(entries=32, ways=4))
+    return (
+        make_tlb(kind, config, rng=random.Random(7), **kwargs),
+        make_tlb(kind, config, rng=random.Random(7), **kwargs),
+    )
+
+
+def replay_both(reference, fast, trace):
+    """Replay via translate on one twin, translate_fast on the other."""
+    ref_walker, fast_walker = make_walker(), make_walker()
+    for vpn, asid in trace:
+        result = reference.translate(vpn, asid, ref_walker)
+        packed = fast.translate_fast(vpn, asid, fast_walker)
+        assert packed == pack_result(result.cycles, result.hit, result.filled)
+    return ref_walker, fast_walker
+
+
+DESIGNS = [TLBKind.SA, TLBKind.SP, TLBKind.RF]
+
+
+class TestPackedEncoding:
+    def test_roundtrip(self):
+        packed = pack_result(37, True, False)
+        assert packed_cycles(packed) == 37
+        assert packed_hit(packed) is True
+        assert packed_filled(packed) is False
+
+    def test_miss_fill(self):
+        packed = pack_result(31, False, True)
+        assert (packed_cycles(packed), packed_hit(packed),
+                packed_filled(packed)) == (31, False, True)
+
+
+class TestSupportsFastpath:
+    def test_all_designs_support_it(self):
+        for kind in DESIGNS:
+            tlb, _ = make_pair(kind)
+            assert supports_fastpath(tlb)
+
+    def test_two_level_supports_it(self):
+        tlb = make_two_level_tlb(
+            TLBKind.SA, TLBKind.SA,
+            TLBConfig(entries=16, ways=4), TLBConfig(entries=64, ways=8),
+        )
+        assert supports_fastpath(tlb)
+
+    def test_duck_typing(self):
+        assert not supports_fastpath(object())
+
+
+class TestPerAccessEquivalence:
+    @pytest.mark.parametrize("kind", DESIGNS)
+    def test_counters_and_state_match(self, kind):
+        reference, fast = make_pair(kind)
+        replay_both(reference, fast, random_trace(seed=1))
+        assert reference.stats == fast.stats
+        assert sorted(
+            (e.vpn, e.asid, e.ppn) for e in reference.entries()
+        ) == sorted((e.vpn, e.asid, e.ppn) for e in fast.entries())
+        assert fast.audit() == []
+
+    def test_rf_secure_region_buffer_path(self):
+        """Secure requests return through the buffer without filling."""
+        reference, fast = make_pair(TLBKind.RF, victim_asid=1)
+        for tlb in (reference, fast):
+            tlb.set_secure_region(0x100, 0x20, victim_asid=1)
+        replay_both(
+            reference, fast,
+            random_trace(seed=2, pages=48, asids=(1,)),
+        )
+        assert reference.stats == fast.stats
+        assert reference.stats.no_fills > 0  # The buffer path actually ran.
+        assert fast.audit() == []
+
+    def test_rf_buffer_is_cleared_per_request(self):
+        _, fast = make_pair(TLBKind.RF, victim_asid=1)
+        fast.set_secure_region(0x100, 0x4, victim_asid=1)
+        walker = make_walker()
+        fast.translate_fast(0x100, 1, walker)  # secure miss: buffered
+        assert fast.buffer is not None
+        fast.translate_fast(0x300, 1, walker)
+        # The fresh request cleaned the previous buffer (and this one
+        # missed non-secure, so nothing was re-buffered).
+        assert fast.buffer is None
+
+    def test_superpage_entries_hit_in_fast_path(self):
+        """Level>0 entries are found through the higher-level probes."""
+        from repro.mmu import ToyOS
+
+        reference, fast = make_pair(TLBKind.SA)
+        results = []
+        for tlb in (reference, fast):
+            walker = make_walker()
+            toy_os = ToyOS(walker=walker)
+            process = toy_os.create_process("victim", asid=1)
+            toy_os.map_superpage(process, vpn=0x200 << 9)
+            memory = MemorySystem(tlb, walker)
+            packed = memory.translate_fast((0x200 << 9) + 5, 1)
+            miss = (packed_cycles(packed), packed_hit(packed))
+            packed = memory.translate_fast((0x200 << 9) + 9, 1)
+            hit = (packed_cycles(packed), packed_hit(packed))
+            results.append((miss, hit))
+        assert results[0] == results[1]
+        assert results[0][1][1] is True  # The second access hits the 2MiB entry.
+
+    def test_two_level_equivalence(self):
+        def build():
+            return make_two_level_tlb(
+                TLBKind.SA, TLBKind.SA,
+                TLBConfig(entries=16, ways=4), TLBConfig(entries=64, ways=8),
+            )
+
+        reference, fast = build(), build()
+        replay_both(reference, fast, random_trace(seed=3))
+        assert reference.stats == fast.stats
+        assert reference.l1.stats == fast.l1.stats
+        assert reference.l2.stats == fast.l2.stats
+
+
+class TestSliceEquivalence:
+    @pytest.mark.parametrize("kind", DESIGNS)
+    def test_batched_slice_matches_reference(self, kind):
+        spec = by_name("povray")
+        trace = CompiledTrace(spec.events(random.Random(11)))
+        count = trace.ensure(3_000)
+        reference, fast = make_pair(kind)
+        ref_walker, fast_walker = make_walker(), make_walker()
+        total_cycles = 0
+        for index in range(count):
+            total_cycles += reference.translate(
+                trace.vpns[index], 2, ref_walker
+            ).cycles
+        fast_cycles = 0
+        misses = 0
+        for begin in range(0, count, 512):
+            cycles, slice_misses = fast.translate_slice(
+                trace.vpns, begin, min(begin + 512, count), 2, fast_walker
+            )
+            fast_cycles += cycles
+            misses += slice_misses
+        assert reference.stats == fast.stats
+        assert fast_cycles == total_cycles
+        assert misses == reference.stats.misses
+        assert fast.audit() == []
+
+
+class TestMemorySystemFastPath:
+    def test_idle_bus_matches_reference_packing(self):
+        tlb, twin = make_pair(TLBKind.SA)
+        memory = MemorySystem(tlb, make_walker())
+        twin_memory = MemorySystem(twin, make_walker())
+        for vpn, asid in random_trace(seed=4, length=300):
+            result = twin_memory.translate(vpn, asid)
+            packed = memory.translate_fast(vpn, asid)
+            assert packed == pack_result(
+                result.cycles, result.hit, result.filled
+            )
+        assert memory.accesses == twin_memory.accesses
+        assert memory.cycles == twin_memory.cycles
+
+    def test_active_bus_falls_back_to_events(self):
+        tlb, _ = make_pair(TLBKind.SA)
+        memory = MemorySystem(tlb, make_walker())
+        seen = []
+        memory.bus.on_access(seen.append)
+        packed = memory.translate_fast(0x123, 1)
+        assert len(seen) == 1
+        assert seen[0].vpn == 0x123
+        assert packed_hit(packed) is False
+
+
+class TestSimulateEquivalence:
+    """Whole timing-model runs: fastpath=True vs fastpath=False."""
+
+    @pytest.mark.parametrize("kind", DESIGNS)
+    def test_single_process_identical(self, kind):
+        results = {}
+        for fastpath in (False, True):
+            tlb, _ = make_pair(kind)
+            results[fastpath] = simulate(
+                tlb,
+                [ScheduledProcess(workload=by_name("povray"), asid=1,
+                                  instructions=40_000)],
+                quantum=1_000,
+                fastpath=fastpath,
+            )
+        assert results[True] == results[False]
+
+    @pytest.mark.parametrize(
+        "policy", [SwitchPolicy.KEEP, SwitchPolicy.FLUSH_ALL]
+    )
+    def test_multiprogrammed_identical(self, policy):
+        results = {}
+        for fastpath in (False, True):
+            tlb, _ = make_pair(TLBKind.SA)
+            results[fastpath] = simulate(
+                tlb,
+                [
+                    ScheduledProcess(workload=by_name("povray"), asid=1,
+                                     instructions=30_000),
+                    ScheduledProcess(workload=by_name("omnetpp"), asid=2,
+                                     instructions=30_000),
+                ],
+                quantum=2_000,
+                switch_policy=policy,
+                fastpath=fastpath,
+            )
+        # Includes total.switches: done-flag timing must match exactly.
+        assert results[True] == results[False]
+
+    def test_figure7_cell_identical(self):
+        cells = {}
+        for fastpath in (False, True):
+            cells[fastpath] = run_cell(
+                TLBKind.RF,
+                "4W 32",
+                Scenario(secure=True, spec=by_name("omnetpp")),
+                rsa_runs=3,
+                settings=PerfSettings(
+                    spec_instructions=20_000, key_bits=64, fastpath=fastpath
+                ),
+            )
+        assert cells[True].results == cells[False].results
+
+
+class TestCompiledTrace:
+    def test_chunked_materialisation_of_infinite_stream(self):
+        def stream():
+            value = 0
+            while True:
+                yield (value % 5, 0x100 + value % 64)
+                value += 1
+
+        trace = CompiledTrace(stream())
+        assert len(trace) == 0
+        available = trace.ensure(10)
+        assert available >= 10
+        assert not trace.exhausted
+        # cum[i] accumulates gap + 1 per event.
+        assert trace.cum[0] == trace.gaps[0] + 1
+        assert trace.cum[3] - trace.cum[2] == trace.gaps[3] + 1
+
+    def test_finite_stream_exhausts(self):
+        trace = CompiledTrace([(1, 0x10), (0, 0x11)])
+        assert trace.ensure(100) == 2
+        assert trace.exhausted
+        assert list(trace.vpns) == [0x10, 0x11]
+        assert list(trace.cum) == [2, 3]
