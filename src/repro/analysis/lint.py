@@ -19,8 +19,16 @@ over Python ASTs:
     Simulation code may not consult wall clocks or the process-global
     RNG (``time.time``, ``random.random``, seedless ``random.Random()``,
     ...): every experiment must be a pure function of its seeds.  The
-    ``repro.runner`` orchestration layer is exempt -- its telemetry
-    timestamps never feed simulation state.
+    ``repro.runner`` orchestration layer and the ``repro.serve`` service
+    are exempt -- telemetry timestamps, quota clocks, and job timings
+    never feed simulation state.
+
+``sim-isolation``
+    Simulation and analysis code may not open sockets or start network
+    servers (``socket.socket``, ``asyncio.start_server``, ...): network
+    I/O lives in ``repro.serve`` alone, so every other module stays a
+    pure library that cannot leak results -- or nondeterminism -- over a
+    wire.
 
 ``frozen-event-dataclasses``
     Event record dataclasses (``*Event``) stay ``frozen=True, slots=True``:
@@ -75,6 +83,20 @@ GLOBAL_RANDOM_FUNCTIONS = frozenset(
 #: Wall-clock reads that would make runs irreproducible.
 WALL_CLOCK_FUNCTIONS = frozenset(
     {"time", "time_ns", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+)
+
+#: ``socket.*`` / ``asyncio.*`` entry points that open network endpoints.
+NETWORK_FUNCTIONS = frozenset(
+    {
+        "socket",
+        "socketpair",
+        "create_connection",
+        "create_server",
+        "start_server",
+        "start_unix_server",
+        "open_connection",
+        "open_unix_connection",
+    }
 )
 
 #: Methods that mutate a TLB entry in place.
@@ -185,8 +207,9 @@ class DeterministicSim(Rule):
         "no wall-clock or process-global RNG calls in simulation paths"
         " (thread a seeded random.Random through instead)"
     )
-    #: Orchestration telemetry stamps real time; simulation never reads it.
-    allowed_prefixes = ("repro/runner/",)
+    #: Orchestration telemetry and the service's quota/job clocks stamp
+    #: real time; simulation never reads it.
+    allowed_prefixes = ("repro/runner/", "repro/serve/")
     #: The regression bench is a stopwatch around the simulator, not a
     #: simulation path: its perf_counter reads never feed simulated state.
     allowed_files = ("repro/perf/bench.py",)
@@ -227,6 +250,35 @@ class DeterministicSim(Rule):
                     relpath,
                     "Random() without a seed draws OS entropy; pass an"
                     " explicit seed",
+                )
+
+
+class SimIsolation(Rule):
+    name = "sim-isolation"
+    description = (
+        "no sockets or network servers outside repro.serve; simulation"
+        " stays a pure library"
+    )
+    #: The service is the one sanctioned network boundary.
+    allowed_prefixes = ("repro/serve/",)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("socket", "asyncio")
+                and func.attr in NETWORK_FUNCTIONS
+            ):
+                yield self.finding(
+                    node,
+                    relpath,
+                    f"{func.value.id}.{func.attr}() opens a network"
+                    " endpoint outside repro.serve; the service is the"
+                    " only sanctioned network boundary",
                 )
 
 
@@ -334,6 +386,7 @@ LINT_RULES: Tuple[Rule, ...] = (
     FacadeTLBConstruction(),
     FacadeWalkerConstruction(),
     DeterministicSim(),
+    SimIsolation(),
     FrozenEventDataclasses(),
     NoSnapshotMutation(),
 )

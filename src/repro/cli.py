@@ -16,6 +16,7 @@
 ``covert``     the covert-channel demo
 ``trace``      a toy scenario with the JSONL event tracer attached
 ``run-all``    every experiment, sharded across workers with caching
+``serve``      the async HTTP experiment service over the runner
 ``analyze``    static leakage checker (guest) + invariant linter (host)
 ``bench``      fast-path vs reference regression bench (BENCH_fastpath.json)
 =============  =============================================================
@@ -273,8 +274,10 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
     print(
         f"{report.completed}/{report.units_total} cells ok"
         f" · {report.cells_per_second:.1f} cells/s"
-        f" · cache hit-rate {report.cache_hit_rate:.0%}"
-        f" · retries {report.retries}"
+        f" · cache {report.cache_hits} hits / {report.cache_misses} misses"
+        f" ({report.cache_hit_rate:.0%})"
+        + (f" / {report.cache_corrupt} corrupt" if report.cache_corrupt else "")
+        + f" · retries {report.retries}"
         f" · worker crashes {report.worker_crashes}"
     )
     if report.artifacts:
@@ -288,6 +291,24 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         )
         return 130
     return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeApp
+
+    app = ServeApp(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        max_concurrency=args.max_concurrency,
+        dispatchers=args.dispatchers,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        quiet=args.quiet,
+    )
+    return app.run()
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -507,6 +528,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress output"
     )
     run_all.set_defaults(func=_cmd_run_all)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="async HTTP experiment service over the runner",
+        description=(
+            "Serve the experiment registry over HTTP/JSON: POST /v1/jobs"
+            " submits a spec (experiment, design, options, trials,"
+            " priority), GET /v1/jobs/{id} streams per-cell progress from"
+            " the JSONL telemetry, GET /v1/results/{hash} answers from the"
+            " content-addressed result store with its SHA-256 envelope"
+            " verified on read.  Identical in-flight submissions dedup to"
+            " one simulation; per-client token buckets rate-limit"
+            " submissions.  See docs/service.md."
+        ),
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="bind port; 0 lets the OS pick (default: 8321)",
+    )
+    serve.add_argument(
+        "--state-dir", default=".repro-serve", metavar="DIR",
+        help="result store + job telemetry logs (default: .repro-serve)",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="cell result cache directory (default: .repro-cache)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not update the cell result cache",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=2, metavar="N",
+        help="cells executing at once (default: 2)",
+    )
+    serve.add_argument(
+        "--dispatchers", type=int, default=2, metavar="N",
+        help="jobs in flight at once (default: 2)",
+    )
+    serve.add_argument(
+        "--quota-rate", type=float, default=0.0, metavar="PER_SECOND",
+        help=(
+            "per-client sustained submissions/second; 0 disables quotas"
+            " (default: 0)"
+        ),
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=10.0, metavar="TOKENS",
+        help="per-client burst allowance (default: 10)",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress server log lines"
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     bench = subparsers.add_parser(
         "bench",

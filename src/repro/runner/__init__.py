@@ -6,8 +6,10 @@ shardable job graph:
 
 * :mod:`repro.runner.registry` -- named experiments enumerating their
   cells as picklable :class:`Unit` coordinates;
-* :mod:`repro.runner.scheduler` -- the multiprocessing executor with
-  retries, crash recovery, and deterministic per-cell seeding;
+* :mod:`repro.runner.scheduler` -- the :class:`Executor` seam
+  (``submit(cell) -> outcome``) and its backends: the multiprocessing
+  pool with retries and crash recovery, the in-process path, and the
+  asyncio executor behind :mod:`repro.serve`;
 * :mod:`repro.runner.cache` -- a content-addressed result cache keyed on
   (experiment, params, seed, code version);
 * :mod:`repro.runner.progress` -- live console progress plus a JSONL run
@@ -49,17 +51,31 @@ from .registry import (
     stable_seed,
 )
 from .results import ARTIFACT_SOURCES, write_artifacts
-from .scheduler import Scheduler, TaskOutcome, run_units_serially
+from .scheduler import (
+    AsyncInProcessExecutor,
+    Executor,
+    InProcessExecutor,
+    IntegrityError,
+    ResultEnvelope,
+    Scheduler,
+    TaskOutcome,
+    run_units_serially,
+)
 
 __all__ = [
     "ARTIFACT_SOURCES",
+    "AsyncInProcessExecutor",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_OPTIONS",
+    "Executor",
     "Experiment",
+    "InProcessExecutor",
+    "IntegrityError",
     "ProgressPrinter",
     "REGISTRY",
     "ResultCache",
+    "ResultEnvelope",
     "RunLog",
     "RunReport",
     "Scheduler",

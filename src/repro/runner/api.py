@@ -271,6 +271,11 @@ def run_all(
     )
     if report.artifacts:
         printer.note(f"wrote {len(report.artifacts)} artifacts")
+    if report.cache_corrupt:
+        printer.note(
+            f"cache: {report.cache_corrupt} corrupt entries treated as"
+            " misses and recomputed"
+        )
     if report.failed:
         printer.note(f"FAILED cells: {', '.join(report.failed)}")
     if report.interrupted:

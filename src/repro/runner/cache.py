@@ -108,6 +108,16 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def as_dict(self) -> dict:
+        """Queryable counter snapshot (run-all summaries, /v1/metrics)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
 
 class ResultCache:
     """The on-disk result store (see module docstring)."""

@@ -1,16 +1,33 @@
-"""The parallel executor: shard cells across workers, survive failures.
+"""The execution seam and its backends: run cells, survive failures.
 
-Workers are plain ``multiprocessing`` processes fed from a bounded task
-queue.  Each worker announces a *claim* before running a cell, so the
-parent always knows which cell died with a crashed worker; crashed or
-erroring cells are retried with exponential backoff up to ``max_retries``
-times, then marked failed -- a dead worker never loses the run, and never
-blocks the remaining cells.
+Two layers live here.  The :class:`Executor` protocol is the seam every
+backend implements -- ``submit(unit) -> TaskOutcome`` -- shared by
+``run_all``, :mod:`repro.serve`, and any future remote backend.  Behind
+it sit three implementations:
+
+* :class:`Scheduler` -- the multiprocessing pool (bulk-optimized via
+  :meth:`Scheduler.run`): workers fed from a bounded task queue, each
+  announcing a *claim* before running a cell so the parent always knows
+  which cell died with a crashed worker.  Crashed or erroring cells are
+  retried with exponential backoff up to ``max_retries`` times, then
+  marked failed -- a dead worker never loses the run, and never blocks
+  the remaining cells.
+* :class:`InProcessExecutor` -- the ``--jobs 1`` path: cells run in the
+  calling process, same telemetry, no processes.
+* :class:`AsyncInProcessExecutor` -- the :mod:`repro.serve` backend:
+  ``submit`` is a coroutine that runs the cell on a worker thread under
+  a concurrency semaphore, so a long-lived asyncio service stays
+  responsive while cells execute.
+
+Results can travel as a :class:`ResultEnvelope` -- the pickled payload
+plus its SHA-256 -- so any boundary (a worker queue, a service response)
+can verify the bytes it received are the bytes the cell produced.
 
 Determinism comes from the units, not the schedule: every
 :class:`~repro.runner.registry.Unit` carries its own stable seed and its
 run function derives any internal RNG from the cell's identity, so results
-are identical for any ``--jobs`` value and any completion order.
+are identical for any backend, any ``--jobs`` value, and any completion
+order.
 """
 
 from __future__ import annotations
@@ -32,6 +49,41 @@ from .progress import ProgressPrinter, RunLog
 from .registry import Unit, get_experiment
 
 
+class IntegrityError(RuntimeError):
+    """A result envelope whose payload no longer matches its digest."""
+
+
+@dataclass(frozen=True)
+class ResultEnvelope:
+    """A pickled cell result sealed with its SHA-256.
+
+    Sealing hashes the exact serialized bytes, so the envelope can cross
+    any boundary -- a worker result queue, an on-disk store, a service
+    response -- and :meth:`open` will refuse a payload corrupted anywhere
+    in between.
+    """
+
+    blob: bytes
+    sha256: str
+
+    @classmethod
+    def seal(cls, value: Any) -> "ResultEnvelope":
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return cls(blob=blob, sha256=hashlib.sha256(blob).hexdigest())
+
+    @property
+    def intact(self) -> bool:
+        return hashlib.sha256(self.blob).hexdigest() == self.sha256
+
+    def open(self) -> Any:
+        """Verify the digest and unpickle the payload."""
+        if not self.intact:
+            raise IntegrityError(
+                "result payload failed its integrity check"
+            )
+        return pickle.loads(self.blob)
+
+
 @dataclass
 class TaskOutcome:
     """Terminal state of one scheduled cell."""
@@ -44,6 +96,105 @@ class TaskOutcome:
     cached: bool = False
     failed: bool = False
     error: Optional[str] = None
+    #: Sealed form of ``value`` when the backend produced one (the async
+    #: executor always seals; the serial path only when asked).
+    envelope: Optional[ResultEnvelope] = None
+
+
+class Executor:
+    """The execution seam: submit one cell, receive its terminal outcome.
+
+    ``submit`` never raises for a failing cell -- failures come back as
+    ``TaskOutcome(failed=True)`` -- so callers treat every backend
+    uniformly.  Implementations may be synchronous (returning the
+    outcome directly) or asynchronous (``submit`` defined as a
+    coroutine function, as in :class:`AsyncInProcessExecutor`); async-
+    aware callers await what they get.
+    """
+
+    def submit(self, unit: Unit) -> TaskOutcome:
+        raise NotImplementedError
+
+    def run(self, units: List[Tuple[int, Unit]]) -> Dict[int, TaskOutcome]:
+        """Bulk execution; the default just drains ``submit`` in order."""
+        return {task_id: self.submit(unit) for task_id, unit in units}
+
+    def close(self) -> None:
+        """Release backend resources (worker pools, threads)."""
+
+
+class InProcessExecutor(Executor):
+    """Run cells in the calling process (the ``--jobs 1`` path).
+
+    Emits the same ``unit_done`` telemetry as the process pool.  With
+    ``seal=True`` every outcome carries a :class:`ResultEnvelope`, which
+    :mod:`repro.serve` uses to hand integrity-checked bytes to its
+    result store.
+    """
+
+    def __init__(self, log: Optional[RunLog] = None, seal: bool = False) -> None:
+        self.log = log or RunLog(None)
+        self.seal = seal
+
+    def submit(self, unit: Unit) -> TaskOutcome:
+        start = time.perf_counter()
+        try:
+            value = get_experiment(unit.experiment).run(dict(unit.params))
+        except Exception:
+            error = traceback.format_exc()
+            self.log.emit(
+                "unit_done",
+                experiment=unit.experiment,
+                key=unit.key,
+                status="failed",
+                error=error.splitlines()[-1],
+            )
+            return TaskOutcome(unit=unit, failed=True, error=error)
+        elapsed = time.perf_counter() - start
+        envelope = ResultEnvelope.seal(value) if self.seal else None
+        self.log.emit(
+            "unit_done",
+            experiment=unit.experiment,
+            key=unit.key,
+            status="ok",
+            cached=False,
+            elapsed=round(elapsed, 4),
+            worker=0,
+            attempts=1,
+        )
+        return TaskOutcome(
+            unit=unit, value=value, elapsed=elapsed, worker=0,
+            envelope=envelope,
+        )
+
+
+class AsyncInProcessExecutor(Executor):
+    """Asyncio backend: cells run on worker threads, outcomes sealed.
+
+    ``submit`` is a coroutine: it acquires a concurrency semaphore and
+    runs the cell via :func:`asyncio.to_thread`, so an event loop can
+    keep serving requests while simulations execute.  The semaphore is
+    created lazily on the first running loop and the executor is bound
+    to it from then on -- one executor per service lifetime.
+    """
+
+    def __init__(
+        self,
+        max_concurrency: int = 2,
+        log: Optional[RunLog] = None,
+        seal: bool = True,
+    ) -> None:
+        self.max_concurrency = max(1, max_concurrency)
+        self._inner = InProcessExecutor(log=log, seal=seal)
+        self._semaphore: Optional[Any] = None
+
+    async def submit(self, unit: Unit) -> TaskOutcome:  # type: ignore[override]
+        import asyncio
+
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        async with self._semaphore:
+            return await asyncio.to_thread(self._inner.submit, unit)
 
 
 def _worker_main(
@@ -97,8 +248,8 @@ def _worker_main(
                 )
             )
         else:
-            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            digest = hashlib.sha256(blob).hexdigest()
+            envelope = ResultEnvelope.seal(value)
+            blob = envelope.blob
             if fault == "corrupt-result":
                 tampered = bytearray(blob)
                 tampered[len(tampered) // 2] ^= 0xFF
@@ -108,14 +259,20 @@ def _worker_main(
                     "ok",
                     worker_id,
                     task_id,
-                    (blob, digest),
+                    (blob, envelope.sha256),
                     time.perf_counter() - start,
                 )
             )
 
 
-class Scheduler:
-    """Run units across ``jobs`` worker processes (see module docstring)."""
+class Scheduler(Executor):
+    """Run units across ``jobs`` worker processes (see module docstring).
+
+    The bulk path is :meth:`run`; :meth:`submit` satisfies the
+    :class:`Executor` protocol for one-off cells but spins the pool up
+    and down per call -- services wanting per-cell submission should use
+    :class:`AsyncInProcessExecutor` (or keep a bulk batch per job).
+    """
 
     def __init__(
         self,
@@ -152,6 +309,10 @@ class Scheduler:
             self._ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             self._ctx = multiprocessing.get_context()
+
+    def submit(self, unit: Unit) -> TaskOutcome:
+        """One-cell convenience over :meth:`run` (pool per call)."""
+        return self.run([(0, unit)])[0]
 
     # -- internals -----------------------------------------------------------------
 
@@ -302,8 +463,10 @@ class Scheduler:
                     continue  # duplicate completion after a lost-task retry
                 unit = by_id[task_id]
                 if kind == "ok":
-                    blob, digest = payload
-                    if hashlib.sha256(blob).hexdigest() != digest:
+                    envelope = ResultEnvelope(*payload)
+                    try:
+                        value = envelope.open()
+                    except IntegrityError as error:
                         self.corrupt_results += 1
                         self.log.emit(
                             "corrupt_result",
@@ -311,18 +474,15 @@ class Scheduler:
                             key=unit.key,
                             worker=worker_id,
                         )
-                        schedule_retry(
-                            task_id,
-                            "corrupt-result",
-                            "result payload failed its integrity check",
-                        )
+                        schedule_retry(task_id, "corrupt-result", str(error))
                         continue
                     outcomes[task_id] = TaskOutcome(
                         unit=unit,
-                        value=pickle.loads(blob),
+                        value=value,
                         elapsed=elapsed,
                         worker=worker_id,
                         attempts=attempts[task_id] + 1,
+                        envelope=envelope,
                     )
                     self.log.emit(
                         "unit_done",
@@ -502,44 +662,16 @@ def run_units_serially(
     returns the outcomes gathered so far; ``run_all`` reads the shortfall
     as an interrupted run and reports partially.
     """
-    log = log or RunLog(None)
+    executor = InProcessExecutor(log=log or RunLog(None))
     outcomes: Dict[int, TaskOutcome] = {}
     for task_id, unit in units:
-        start = time.perf_counter()
         try:
-            value = get_experiment(unit.experiment).run(dict(unit.params))
+            outcomes[task_id] = executor.submit(unit)
         except KeyboardInterrupt:
-            log.emit(
+            executor.log.emit(
                 "interrupted",
                 completed=len(outcomes),
                 remaining=len(units) - len(outcomes),
             )
             return outcomes
-        except Exception:
-            error = traceback.format_exc()
-            outcomes[task_id] = TaskOutcome(
-                unit=unit, failed=True, error=error
-            )
-            log.emit(
-                "unit_done",
-                experiment=unit.experiment,
-                key=unit.key,
-                status="failed",
-                error=error.splitlines()[-1],
-            )
-            continue
-        elapsed = time.perf_counter() - start
-        outcomes[task_id] = TaskOutcome(
-            unit=unit, value=value, elapsed=elapsed, worker=0
-        )
-        log.emit(
-            "unit_done",
-            experiment=unit.experiment,
-            key=unit.key,
-            status="ok",
-            cached=False,
-            elapsed=round(elapsed, 4),
-            worker=0,
-            attempts=1,
-        )
     return outcomes

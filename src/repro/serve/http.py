@@ -1,0 +1,236 @@
+"""Hand-rolled HTTP/1.1 over asyncio streams (stdlib only).
+
+Just enough protocol for a JSON API: request-line + headers + an
+optional ``Content-Length`` body in, status + headers + body out, one
+request per connection (every response carries ``Connection: close``).
+No chunked encoding, no keep-alive, no TLS -- the service sits behind
+whatever terminates those in production, and the tests speak plain
+``http.client``.
+
+Parsing is defensive: oversized request lines, header blocks, or bodies
+raise :class:`HttpError` with the right 4xx status instead of buffering
+unboundedly, so a misbehaving client cannot balloon the event loop's
+memory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: Reason phrases for the statuses the service actually emits.
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Hard limits on what one request may occupy.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """An error with an HTTP status; handlers raise it, the app renders it.
+
+    ``code`` is a stable machine-readable slug (``bad-request``,
+    ``quota-exhausted``, ...) so clients can branch without parsing the
+    human-readable ``detail``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        detail: str,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        super().__init__(f"{status} {code}: {detail}")
+        self.status = status
+        self.code = code
+        self.detail = detail
+        self.headers = dict(headers or {})
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {"error": self.code, "detail": self.detail}
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  #: keys lower-cased
+    body: bytes
+
+    def json(self) -> Any:
+        """Decode the body as JSON or raise a 400."""
+        if not self.body:
+            raise HttpError(400, "bad-request", "request body is empty")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(
+                400, "bad-request", f"request body is not valid JSON: {error}"
+            ) from None
+
+    def client_id(self, default: str = "anonymous") -> str:
+        """The quota identity: the ``X-Repro-Client`` header, or a default."""
+        client = self.headers.get("x-repro-client", "").strip()
+        return client or default
+
+
+@dataclass
+class Response:
+    """One response: a status plus either a JSON payload or raw bytes."""
+
+    status: int = 200
+    payload: Any = None
+    body: Optional[bytes] = None
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        if self.body is not None:
+            body = self.body
+        else:
+            body = (
+                json.dumps(self.payload, sort_keys=True, default=str) + "\n"
+            ).encode("utf-8")
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        for name, value in sorted(self.headers.items()):
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + body
+
+
+def error_response(error: HttpError) -> Response:
+    return Response(
+        status=error.status, payload=error.to_payload(), headers=error.headers
+    )
+
+
+async def read_request(reader: Any) -> Optional[Request]:
+    """Parse one request from an asyncio stream reader.
+
+    Returns ``None`` when the client closed the connection before
+    sending a request line; raises :class:`HttpError` on anything
+    malformed or oversized.
+    """
+    import asyncio
+
+    try:
+        raw_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as eof:
+        if not eof.partial.strip():
+            return None
+        raise HttpError(400, "bad-request", "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "bad-request", "request line too long") from None
+    if len(raw_line) > MAX_REQUEST_LINE:
+        raise HttpError(400, "bad-request", "request line too long")
+    try:
+        method, target, version = raw_line.decode("latin-1").split()
+    except ValueError:
+        raise HttpError(400, "bad-request", "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, "bad-request", f"unsupported {version}")
+
+    headers: Dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(
+                400, "bad-request", "truncated header block"
+            ) from None
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(400, "bad-request", "header block too large")
+        if line == b"\r\n":
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, "bad-request", "malformed header line")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(
+                400, "bad-request", "malformed Content-Length"
+            ) from None
+        if length < 0:
+            raise HttpError(400, "bad-request", "negative Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(
+                413, "payload-too-large",
+                f"body exceeds the {MAX_BODY_BYTES}-byte limit",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "bad-request", "truncated body") from None
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def match_route(
+    pattern: str, path: str
+) -> Optional[Dict[str, str]]:
+    """Match ``/v1/jobs/{id}``-style patterns; returns captured segments."""
+    pattern_parts = pattern.strip("/").split("/")
+    path_parts = path.strip("/").split("/")
+    if len(pattern_parts) != len(path_parts):
+        return None
+    captures: Dict[str, str] = {}
+    for expected, actual in zip(pattern_parts, path_parts):
+        if expected.startswith("{") and expected.endswith("}"):
+            if not actual:
+                return None
+            captures[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return captures
+
+
+def not_found(path: str) -> HttpError:
+    return HttpError(404, "not-found", f"no resource at {path!r}")
+
+
+def method_not_allowed(method: str, allowed: Tuple[str, ...]) -> HttpError:
+    return HttpError(
+        405,
+        "method-not-allowed",
+        f"{method} not supported here (allowed: {', '.join(sorted(allowed))})",
+        headers={"Allow": ", ".join(sorted(allowed))},
+    )

@@ -1,0 +1,67 @@
+"""Service counters behind ``GET /v1/metrics``.
+
+One mutable object threaded through the app: the HTTP layer counts
+requests and errors, the job manager counts submissions / dedups /
+completions and cell-level cache traffic, the quota registry reports
+per-client usage.  Everything is a plain monotonically-increasing
+counter or an instantaneous gauge sampled at snapshot time -- no
+histograms, no background threads -- so the endpoint is cheap enough to
+poll aggressively.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+
+@dataclass
+class ServiceMetrics:
+    """Counters since service start; gauges are registered callables."""
+
+    #: HTTP layer.
+    http_requests: int = 0
+    http_errors: int = 0
+    #: Job lifecycle.
+    jobs_submitted: int = 0
+    #: Submissions answered instantly from the content-addressed store.
+    jobs_store_hits: int = 0
+    #: Submissions attached to an identical in-flight job (no new work).
+    jobs_deduped: int = 0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    #: Requests rejected by a client's token bucket (HTTP 429).
+    quota_rejections: int = 0
+    #: Cell execution inside jobs.
+    cells_run: int = 0
+    cells_cached: int = 0
+    cells_failed: int = 0
+
+    started_at: float = field(default_factory=time.time)
+    _gauges: Dict[str, Callable[[], Any]] = field(default_factory=dict)
+
+    def register_gauge(self, name: str, read: Callable[[], Any]) -> None:
+        """Expose a live value (queue depth, in-flight dedups) by name."""
+        self._gauges[name] = read
+
+    def snapshot(self) -> Dict[str, Any]:
+        counters = {
+            "http_requests": self.http_requests,
+            "http_errors": self.http_errors,
+            "jobs_submitted": self.jobs_submitted,
+            "jobs_store_hits": self.jobs_store_hits,
+            "jobs_deduped": self.jobs_deduped,
+            "jobs_completed": self.jobs_completed,
+            "jobs_failed": self.jobs_failed,
+            "quota_rejections": self.quota_rejections,
+            "cells_run": self.cells_run,
+            "cells_cached": self.cells_cached,
+            "cells_failed": self.cells_failed,
+        }
+        gauges = {name: read() for name, read in sorted(self._gauges.items())}
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "counters": counters,
+            "gauges": gauges,
+        }

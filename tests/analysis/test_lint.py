@@ -80,6 +80,40 @@ class TestDeterministicSim:
         source = "t = time.time()\n"
         assert rules_hit(source, path="repro/runner/telemetry.py") == []
 
+    def test_the_serve_layer_is_exempt(self):
+        source = "t = time.time()\n"
+        assert rules_hit(source, path="repro/serve/app.py") == []
+
+
+class TestSimIsolation:
+    def test_socket_use_in_sim_code_is_flagged(self):
+        assert rules_hit("s = socket.socket()\n") == ["sim-isolation"]
+        assert rules_hit(
+            "s = socket.create_connection(('h', 80))\n"
+        ) == ["sim-isolation"]
+
+    def test_asyncio_servers_in_sim_code_are_flagged(self):
+        source = "server = asyncio.start_server(cb, host, port)\n"
+        assert rules_hit(source) == ["sim-isolation"]
+
+    def test_the_serve_package_is_allowed(self):
+        assert rules_hit(
+            "s = socket.socket()\n", path="repro/serve/app.py"
+        ) == []
+        assert rules_hit(
+            "server = asyncio.start_server(cb, host, port)\n",
+            path="repro/serve/app.py",
+        ) == []
+
+    def test_the_runner_is_not_exempt_from_isolation(self):
+        assert rules_hit(
+            "s = socket.socket()\n", path="repro/runner/scheduler.py"
+        ) == ["sim-isolation"]
+
+    def test_benign_asyncio_calls_are_fine(self):
+        assert rules_hit("asyncio.run(main())\n") == []
+        assert rules_hit("lock = asyncio.Lock()\n") == []
+
 
 class TestFrozenEventDataclasses:
     def test_unfrozen_event_dataclass_is_flagged(self):
@@ -151,6 +185,7 @@ class TestRunLint:
             "facade-tlb-construction",
             "facade-walker-construction",
             "deterministic-sim",
+            "sim-isolation",
             "frozen-event-dataclasses",
             "no-snapshot-mutation",
         ]

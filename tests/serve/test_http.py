@@ -1,0 +1,129 @@
+"""Unit tests for the hand-rolled HTTP layer (no sockets needed)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    MAX_BODY_BYTES,
+    Request,
+    Response,
+    match_route,
+    read_request,
+)
+
+
+def _parse(raw: bytes):
+    """Drive read_request over an in-memory StreamReader."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_roundtrip(self):
+        request = _parse(
+            b"GET /v1/jobs?limit=5 HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"X-Repro-Client: alice\r\n"
+            b"\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/v1/jobs"
+        assert request.query == {"limit": "5"}
+        assert request.client_id() == "alice"
+
+    def test_post_with_body(self):
+        body = json.dumps({"experiment": "table2"}).encode()
+        request = _parse(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.json() == {"experiment": "table2"}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"GETONLY\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_truncated_body(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(
+                b"POST / HTTP/1.1\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+        assert excinfo.value.status == 413
+
+    def test_unsupported_version(self):
+        with pytest.raises(HttpError):
+            _parse(b"GET / SPDY/99\r\n\r\n")
+
+    def test_header_without_colon(self):
+        with pytest.raises(HttpError):
+            _parse(b"GET / HTTP/1.1\r\nbroken header\r\n\r\n")
+
+
+class TestRequestJson:
+    def _request(self, body: bytes) -> Request:
+        return Request(
+            method="POST", path="/", query={}, headers={}, body=body
+        )
+
+    def test_empty_body_raises(self):
+        with pytest.raises(HttpError) as excinfo:
+            self._request(b"").json()
+        assert excinfo.value.code == "bad-request"
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(HttpError):
+            self._request(b"{nope").json()
+
+
+class TestResponseEncode:
+    def test_json_payload(self):
+        raw = Response(payload={"b": 2, "a": 1}).encode()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Connection: close" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        # Canonical payloads sort their keys.
+        assert body == b'{"a": 1, "b": 2}\n'
+
+    def test_raw_body_passthrough(self):
+        payload = b"exact bytes\n"
+        raw = Response(
+            body=payload, headers={"X-Repro-Sha256": "abc"}
+        ).encode()
+        assert raw.endswith(payload)
+        assert b"X-Repro-Sha256: abc" in raw
+
+
+class TestMatchRoute:
+    def test_literal(self):
+        assert match_route("/v1/health", "/v1/health") == {}
+        assert match_route("/v1/health", "/v1/metrics") is None
+
+    def test_capture(self):
+        assert match_route("/v1/jobs/{job_id}", "/v1/jobs/j000001") == {
+            "job_id": "j000001"
+        }
+
+    def test_length_mismatch(self):
+        assert match_route("/v1/jobs/{job_id}", "/v1/jobs") is None
+        assert match_route("/v1/jobs", "/v1/jobs/j000001") is None

@@ -1,0 +1,167 @@
+"""Unit tests for spec parsing, content hashing, and result documents."""
+
+import dataclasses
+import enum
+import json
+
+import pytest
+
+from repro.serve.http import HttpError
+from repro.serve.jobs import (
+    JobSpec,
+    canonical_payload,
+    parse_spec,
+    result_document,
+    to_jsonable,
+)
+
+
+def _reject(payload, **kwargs):
+    with pytest.raises(HttpError) as excinfo:
+        parse_spec(payload, **kwargs)
+    assert excinfo.value.status == 400
+    assert excinfo.value.code == "bad-spec"
+    return excinfo.value.detail
+
+
+class TestParseSpec:
+    def test_minimal(self):
+        spec = parse_spec({"experiment": "table2"})
+        assert spec.experiment == "table2"
+        assert spec.options == ()
+        assert spec.filters == ()
+        assert spec.priority == 0
+        assert spec.client == "anonymous"
+
+    def test_design_workload_become_filters(self):
+        spec = parse_spec(
+            {"experiment": "table2", "design": "SP", "workload": "mcf"}
+        )
+        assert spec.filters == ("table2/SP/*", "table2/*mcf*")
+
+    def test_trials_lower_onto_the_option(self):
+        spec = parse_spec({"experiment": "table4", "trials": 7})
+        assert dict(spec.options)["table4_trials"] == 7
+
+    def test_trials_unsupported_experiment(self):
+        detail = _reject({"experiment": "table2", "trials": 7})
+        assert "no trials knob" in detail
+
+    def test_unknown_experiment_lists_known(self):
+        detail = _reject({"experiment": "tableX"})
+        assert "table2" in detail
+
+    def test_unknown_option_key(self):
+        detail = _reject({"experiment": "table2", "options": {"nope": 1}})
+        assert "unknown option" in detail
+
+    def test_extra_option_keys_widen_validation(self):
+        _reject({"experiment": "table2", "options": {"custom_knob": 1}})
+        spec = parse_spec(
+            {"experiment": "table2", "options": {"custom_knob": 1}},
+            extra_option_keys=frozenset({"custom_knob"}),
+        )
+        assert dict(spec.options)["custom_knob"] == 1
+
+    def test_rejections(self):
+        _reject("not a dict")
+        _reject({"experiment": "table2", "typo": 1})
+        _reject({"experiment": ""})
+        _reject({"experiment": "table2", "design": "XX"})
+        _reject({"experiment": "table2", "workload": ""})
+        _reject({"experiment": "table2", "trials": 0})
+        _reject({"experiment": "table2", "trials": True})
+        _reject({"experiment": "table2", "priority": 10})
+        _reject({"experiment": "table2", "priority": True})
+        _reject({"experiment": "table2", "filters": "oops"})
+        _reject({"experiment": "table2", "filters": [""]})
+        _reject({"experiment": "table2", "client": ""})
+        _reject({"experiment": "table2", "options": []})
+
+    def test_client_default(self):
+        spec = parse_spec({"experiment": "table2"}, default_client="bob")
+        assert spec.client == "bob"
+        spec = parse_spec({"experiment": "table2", "client": "carol"})
+        assert spec.client == "carol"
+
+
+class TestContentHash:
+    def test_stable_and_order_insensitive(self):
+        one = JobSpec(
+            "table2", options=(("a", 1), ("b", 2))
+        ).content_hash("v1")
+        two = JobSpec(
+            "table2", options=(("a", 1), ("b", 2))
+        ).content_hash("v1")
+        assert one == two
+        assert len(one) == 64
+
+    def test_sensitive_to_every_identity_field(self):
+        base = JobSpec("table2").content_hash("v1")
+        assert JobSpec("table4").content_hash("v1") != base
+        assert JobSpec("table2", options=(("a", 1),)).content_hash("v1") != base
+        assert JobSpec("table2", filters=("x/*",)).content_hash("v1") != base
+        # Code changes invalidate old results.
+        assert JobSpec("table2").content_hash("v2") != base
+
+    def test_priority_and_client_are_not_identity(self):
+        # Who asked and how urgently must not fork the result space.
+        one = JobSpec("table2", priority=0, client="a").content_hash("v1")
+        two = JobSpec("table2", priority=9, client="b").content_hash("v1")
+        assert one == two
+
+
+class TestToJsonable:
+    def test_plain_passthrough(self):
+        assert to_jsonable({"a": [1, 2.5, "x", None, True]}) == {
+            "a": [1, 2.5, "x", None, True]
+        }
+
+    def test_dataclass_and_enum(self):
+        class Color(enum.Enum):
+            RED = "red"
+
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            color: Color
+
+        assert to_jsonable(Point(1, Color.RED)) == {"x": 1, "color": "red"}
+
+    def test_tuples_and_sets(self):
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert to_jsonable({"b", "a"}) == ["a", "b"]
+
+    def test_fallback_is_str(self):
+        assert to_jsonable(complex(1, 2)) == "(1+2j)"
+
+
+class TestResultDocument:
+    def _document(self, selected=2, full=2):
+        return result_document(
+            spec=JobSpec("table2", options=(("a", 1),)),
+            content_hash="c" * 64,
+            code_version="v1",
+            values=[10, 20],
+            selected=selected,
+            full=full,
+            assembled={"table": [10, 20]},
+        )
+
+    def test_complete_uses_assembled(self):
+        document = self._document()
+        assert document["cells"]["complete"] is True
+        assert document["result"] == {"table": [10, 20]}
+
+    def test_partial_uses_raw_values(self):
+        document = self._document(selected=2, full=5)
+        assert document["cells"]["complete"] is False
+        assert document["result"] == [10, 20]
+
+    def test_canonical_payload_is_deterministic(self):
+        payload = canonical_payload(self._document())
+        assert payload == canonical_payload(self._document())
+        assert payload.endswith(b"\n")
+        assert json.loads(payload)["content_hash"] == "c" * 64
+        # No timestamps anywhere: byte-identical forever.
+        assert b"time" not in payload
