@@ -34,6 +34,18 @@ sys.path.insert(
 
 EXPERIMENT = "table2"  # the cheapest full experiment (pure derivation)
 
+#: The hierarchy-sweep round-trip: one cross-product design's cell batch
+#: (its 7 strategy rows + its perf point) at smoke-sized trials, carried
+#: entirely by the spec -- ``trials`` must lower onto the sweep's own
+#: option and the declarative HierarchySpec payloads must survive the
+#: worker boundary.
+SWEEP_SPEC = {
+    "experiment": "hierarchy_sweep",
+    "trials": 2,
+    "options": {"hierarchy_sweep_rsa_runs": 2},
+    "filters": ["hierarchy_sweep/RF+SA/*", "hierarchy_sweep/perf/RF+SA"],
+}
+
 
 def fail(message: str):
     print(f"serve smoke: FAIL: {message}", file=sys.stderr)
@@ -70,20 +82,31 @@ def wait_for_health(base: str, process: subprocess.Popen, deadline: float):
     fail("server never became healthy")
 
 
-def expected_payload() -> bytes:
+def expected_payload(spec_payload) -> bytes:
     """What a direct runner invocation of the same spec produces."""
     from repro.runner.cache import code_fingerprint
-    from repro.runner.registry import ensure_default_experiments, get_experiment
+    from repro.runner.registry import (
+        ensure_default_experiments,
+        get_experiment,
+        matches_filter,
+    )
     from repro.runner.scheduler import InProcessExecutor
     from repro.serve.jobs import canonical_payload, parse_spec, result_document
     from repro.runner.experiments import DEFAULT_OPTIONS
 
     ensure_default_experiments()
-    spec = parse_spec({"experiment": EXPERIMENT})
-    experiment = get_experiment(EXPERIMENT)
+    spec = parse_spec(spec_payload)
+    experiment = get_experiment(spec.experiment)
     options = dict(DEFAULT_OPTIONS)
     options.update(spec.options_dict)
-    units = experiment.units(options)
+    all_units = experiment.units(options)
+    if spec.filters:
+        units = [
+            unit for unit in all_units
+            if matches_filter(unit, spec.filters)
+        ]
+    else:
+        units = list(all_units)
     executor = InProcessExecutor()
     values = []
     for unit in units:
@@ -92,14 +115,17 @@ def expected_payload() -> bytes:
             fail(f"direct run of {unit.ident} failed: {outcome.error}")
         values.append(outcome.value)
     code_version = code_fingerprint()
+    complete = len(units) == len(all_units)
     document = result_document(
         spec=spec,
         content_hash=spec.content_hash(code_version),
         code_version=code_version,
         values=values,
-        selected=len(values),
-        full=len(units),
-        assembled=experiment.assemble(values, options),
+        selected=len(units),
+        full=len(all_units),
+        assembled=(
+            experiment.assemble(values, options) if complete else None
+        ),
     )
     return canonical_payload(document)
 
@@ -110,6 +136,52 @@ def child_pids(pid: int):
             return [int(field) for field in handle.read().split()]
     except OSError:
         return []
+
+
+def run_job(base: str, spec_payload, label: str) -> bytes:
+    """Submit a spec, poll to done, and fetch its sha-verified document."""
+    status, _headers, body = http_json(
+        "POST", f"{base}/v1/jobs", spec_payload
+    )
+    submitted = json.loads(body)
+    if status != 202 or submitted.get("disposition") != "queued":
+        fail(f"{label}: submit came back {status} {submitted}")
+    print(f"serve smoke: {label} job {submitted['job_id']} queued"
+          f" ({submitted['cells']} cells)")
+
+    deadline = time.monotonic() + 120
+    while True:
+        if time.monotonic() > deadline:
+            fail(f"{label}: job never finished")
+        _status, _headers, body = http_json(
+            "GET", base + submitted["status_url"]
+        )
+        job = json.loads(body)
+        if job["state"] == "failed":
+            fail(f"{label}: job failed: {job.get('error')}")
+        if job["state"] == "done":
+            break
+        time.sleep(0.3)
+
+    status, headers, payload = http_json("GET", base + job["result_url"])
+    if status != 200:
+        fail(f"{label}: result fetch came back {status}")
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != headers.get("X-Repro-Sha256"):
+        fail(f"{label}: served bytes do not match the X-Repro-Sha256 header")
+    if digest != job["result_sha256"]:
+        fail(f"{label}: served bytes do not match the job's result_sha256")
+
+    direct = expected_payload(spec_payload)
+    if payload != direct:
+        fail(
+            f"{label}: served document differs from a direct runner"
+            f" invocation (served sha {digest},"
+            f" direct sha {hashlib.sha256(direct).hexdigest()})"
+        )
+    print(f"serve smoke: {label} result verified (sha256 {digest[:16]}...,"
+          " byte-identical to the direct run)")
+    return payload
 
 
 def main() -> int:
@@ -129,47 +201,18 @@ def main() -> int:
         wait_for_health(base, process, time.monotonic() + 30)
         print(f"serve smoke: healthy on {base}")
 
-        status, _headers, body = http_json(
-            "POST", f"{base}/v1/jobs", {"experiment": EXPERIMENT}
-        )
-        submitted = json.loads(body)
-        if status != 202 or submitted.get("disposition") != "queued":
-            fail(f"submit came back {status} {submitted}")
-        print(f"serve smoke: job {submitted['job_id']} queued"
-              f" ({submitted['cells']} cells)")
+        run_job(base, {"experiment": EXPERIMENT}, EXPERIMENT)
 
-        deadline = time.monotonic() + 120
-        while True:
-            if time.monotonic() > deadline:
-                fail("job never finished")
-            _status, _headers, body = http_json(
-                "GET", base + submitted["status_url"]
-            )
-            job = json.loads(body)
-            if job["state"] == "failed":
-                fail(f"job failed: {job.get('error')}")
-            if job["state"] == "done":
-                break
-            time.sleep(0.3)
-
-        status, headers, payload = http_json("GET", base + job["result_url"])
-        if status != 200:
-            fail(f"result fetch came back {status}")
-        digest = hashlib.sha256(payload).hexdigest()
-        if digest != headers.get("X-Repro-Sha256"):
-            fail("served bytes do not match the X-Repro-Sha256 header")
-        if digest != job["result_sha256"]:
-            fail("served bytes do not match the job's result_sha256")
-
-        direct = expected_payload()
-        if payload != direct:
+        # The hierarchy-sweep spec round-trip: declarative HierarchySpec
+        # payloads through the spec's trials knob and cell filters.
+        payload = json.loads(run_job(base, SWEEP_SPEC, "hierarchy_sweep"))
+        if payload["options"].get("hierarchy_sweep_trials") != 2:
+            fail("hierarchy_sweep: trials did not lower onto the option")
+        if payload["cells"]["selected"] != 8 or payload["cells"]["complete"]:
             fail(
-                "served document differs from a direct runner invocation"
-                f" (served sha {digest},"
-                f" direct sha {hashlib.sha256(direct).hexdigest()})"
+                "hierarchy_sweep: expected the 8-cell RF+SA batch, got"
+                f" {payload['cells']}"
             )
-        print(f"serve smoke: result verified (sha256 {digest[:16]}...,"
-              " byte-identical to the direct run)")
 
         leaked = child_pids(process.pid)
         if leaked:

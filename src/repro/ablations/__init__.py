@@ -11,11 +11,19 @@
 
 from .hierarchy import (
     HierarchyResult,
+    SweepDesignResult,
     evaluate_hierarchies,
     evaluate_hierarchy,
     evaluate_hierarchy_cell,
+    evaluate_sweep_cell,
     format_hierarchy_results,
+    format_hierarchy_sweep,
     hierarchy_cells,
+    leakage_spec,
+    refill_leakage,
+    sweep_perf_point,
+    sweep_rows,
+    sweep_specs,
 )
 from .large_pages import (
     LargePageResult,
@@ -55,6 +63,7 @@ from .sweeps import (
 
 __all__ = [
     "HierarchyResult",
+    "SweepDesignResult",
     "LargePageResult",
     "MITIGATION_SPECS",
     "MitigationResult",
@@ -66,17 +75,24 @@ __all__ = [
     "evaluate_hierarchies",
     "evaluate_hierarchy",
     "evaluate_hierarchy_cell",
+    "evaluate_sweep_cell",
     "evaluate_asid_baseline",
     "evaluate_large_pages",
     "evaluate_flush_on_switch",
     "evaluate_fully_associative",
     "format_hierarchy_results",
+    "format_hierarchy_sweep",
     "format_large_page_comparison",
     "format_mitigation_ladder",
     "format_partition_sweep",
     "format_region_sweep",
     "hierarchy_cells",
     "large_page_cells",
+    "leakage_spec",
+    "refill_leakage",
+    "sweep_perf_point",
+    "sweep_rows",
+    "sweep_specs",
     "mitigation_cells",
     "replacement_policy_point",
     "rf_region_point",

@@ -17,6 +17,13 @@ The harness re-runs the Table 4 rows over three hierarchies:
 * RF L1 + SA L2 -- protected L1 only: the external miss-based rows leak
   again through the L2;
 * RF L1 + RF L2 -- protection at both levels restores the full defence.
+
+The declarative *sweep* generalizes the study to the full cross-product:
+L1 in {SA, SP, RF} x L2 in {SA, SP, RF, none} x page-walk cache on/off
+(24 designs described by :class:`repro.tlb.HierarchySpec`), each measured
+for channel capacity (one representative Table 2 row per attack strategy)
+and performance (the SecRSA workload through the timing model), plus a
+dynamic refill-leakage cross-check over the event bus.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.isa import CPU, ExecutionStatus, assemble
 from repro.mmu import make_walker
@@ -32,9 +39,10 @@ from repro.model.capacity import ChannelEstimate
 from repro.model.patterns import Vulnerability
 from repro.model.table2 import table2_vulnerabilities
 from repro.security.benchgen import BenchmarkLayout, generate
-from repro.security.kinds import TLBKind, make_two_level_tlb
+from repro.security.kinds import TLBKind, make_hierarchy, make_two_level_tlb
 from repro.tlb import TLBConfig
 from repro.tlb.hierarchy import TwoLevelTLB
+from repro.tlb.spec import HierarchySpec, LevelSpec, PWCSpec
 
 #: The evaluated L1 and L2 organizations (an L2 is larger and slower).
 L1_CONFIG = TLBConfig(entries=32, ways=8, hit_latency=1)
@@ -175,4 +183,248 @@ def format_hierarchy_results(results: List[HierarchyResult]) -> str:
             f"{result.name:22} {result.defended:>6}/24   "
             + (", ".join(strategies) if strategies else "-")
         )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# The declarative cross-design sweep (L1 x L2 x PWC)
+# --------------------------------------------------------------------------
+
+#: The page-walk cache appended to the "+pwc" half of the sweep.
+SWEEP_PWC = PWCSpec()
+
+SWEEP_L1_KINDS = ("SA", "SP", "RF")
+#: ``None`` = no L2: the flat single-level designs, as baselines inside
+#: the same matrix.
+SWEEP_L2_KINDS = ("SA", "SP", "RF", None)
+
+#: A spec or its plain-dict form (the shape runner cells carry).
+SpecLike = Union[HierarchySpec, Mapping[str, Any]]
+
+
+def coerce_spec(spec: SpecLike) -> HierarchySpec:
+    """Accept a spec or its :meth:`HierarchySpec.to_dict` form."""
+    if isinstance(spec, HierarchySpec):
+        return spec
+    return HierarchySpec.from_dict(spec)
+
+
+def sweep_specs() -> List[HierarchySpec]:
+    """The 24 sweep designs: L1 x L2 (incl. none) x PWC on/off."""
+    specs = []
+    for l1_kind in SWEEP_L1_KINDS:
+        for l2_kind in SWEEP_L2_KINDS:
+            for pwc in (None, SWEEP_PWC):
+                levels = [LevelSpec.from_config(l1_kind, L1_CONFIG)]
+                if l2_kind is not None:
+                    levels.append(LevelSpec.from_config(l2_kind, L2_CONFIG))
+                specs.append(HierarchySpec(levels=tuple(levels), pwc=pwc))
+    return specs
+
+
+def sweep_rows() -> List[Tuple[int, Vulnerability]]:
+    """One representative Table 2 row per attack strategy (7 rows).
+
+    The full 24-row grid over 24 designs would be a 20x blowup over the
+    three-combination study; one row per strategy keeps the matrix
+    readable while still distinguishing internal-collision, flush/reload,
+    and the five external miss-based strategies.
+    """
+    selected: List[Tuple[int, Vulnerability]] = []
+    seen = set()
+    for index, vulnerability in enumerate(table2_vulnerabilities()):
+        if vulnerability.strategy not in seen:
+            seen.add(vulnerability.strategy)
+            selected.append((index, vulnerability))
+    return selected
+
+
+def evaluate_sweep_cell(
+    spec: SpecLike,
+    vulnerability: Vulnerability,
+    trials: int = 25,
+    seed: int = 7,
+) -> ChannelEstimate:
+    """Run one Table 2 row against one sweep design (a pure cell).
+
+    Benchmarks are generated for the *last* level's geometry -- the level
+    whose misses the walk counter exposes -- and the RNG is derived from
+    the cell's own label, so cells are order-independent and shard
+    cleanly across runner workers.
+    """
+    spec = coerce_spec(spec)
+    last = spec.levels[-1]
+    layout = BenchmarkLayout(nsets=last.config().sets, nways=last.ways)
+    label = f"{seed}/{spec.label()}/{vulnerability.pretty()}"
+    rng = random.Random(zlib.crc32(label.encode()))
+    programs = {
+        mapped: assemble(generate(vulnerability, layout, mapped=mapped))
+        for mapped in (True, False)
+    }
+    misses = {True: 0, False: 0}
+    for mapped in (True, False):
+        for _ in range(trials):
+            tlb = make_hierarchy(
+                spec, victim_asid=layout.victim_pid, rng=rng
+            )
+            cpu = CPU(tlb=tlb, translator=make_walker())
+            cpu.load(programs[mapped])
+            if cpu.run().status is ExecutionStatus.PASSED:
+                misses[mapped] += 1
+    return ChannelEstimate(
+        misses_mapped=misses[True],
+        misses_unmapped=misses[False],
+        trials_per_behaviour=trials,
+    )
+
+
+def sweep_perf_point(spec: SpecLike, rsa_runs: int = 10) -> Dict[str, Any]:
+    """One design's performance under SecRSA through the timing model.
+
+    Reports IPC/MPKI (L1 misses per kilo-instruction), the true walk
+    count (last-level misses -- what ``tlb_miss_count`` observes) and the
+    page-walk-cache hit count, so the matrix shows what an L2 or a PWC
+    buys back from the secure designs' miss-rate cost.
+    """
+    from repro.perf.harness import RSA_ASID
+    from repro.perf.timing import ScheduledProcess, simulate
+    from repro.workloads.rsa import RSAWorkload, generate_key
+
+    spec = coerce_spec(spec)
+    rsa = RSAWorkload(key=generate_key(bits=128, seed=7), runs=rsa_runs)
+    tlb = make_hierarchy(spec, victim_asid=RSA_ASID)
+    sbase, ssize = rsa.secure_region()
+    tlb.set_secure_region(sbase, ssize, victim_asid=RSA_ASID)
+    results = simulate(
+        tlb,
+        [ScheduledProcess(workload=rsa, asid=RSA_ASID)],
+        walker=make_walker(),
+    )
+    total = results["total"]
+    pwc = tlb.pwc
+    return {
+        "design": spec.label(),
+        "ipc": total.ipc,
+        "mpki": total.mpki,
+        "walks": tlb.stats.misses,
+        "accesses": total.memory_accesses,
+        "cycles": total.cycles,
+        "pwc_hits": pwc.stats.hits if pwc is not None else 0,
+    }
+
+
+def leakage_spec() -> HierarchySpec:
+    """The refill cross-check design: a tiny protected L1 over a shared L2.
+
+    Two L1 entries force constant inter-level movement, so every working-
+    set page round-trips through the shared L2 and the ``refill`` stream
+    carries the victim's access pattern in full.
+    """
+    return HierarchySpec(
+        levels=(
+            LevelSpec.from_config(
+                "RF", TLBConfig(entries=2, ways=1, hit_latency=1)
+            ),
+            LevelSpec.from_config("SA", L2_CONFIG),
+        ),
+    )
+
+
+def refill_leakage(
+    spec: Optional[SpecLike] = None, workload_name: str = "rsa"
+) -> Dict[str, Any]:
+    """Dynamic cross-check: do *refill* counts correlate with the secret?
+
+    Runs the guest workload under each probe exponent on the hierarchy
+    and diffs the per-page tallies the :class:`repro.analysis.dynamic.
+    TaintObserver` collects from the event bus.  Pages whose inter-level
+    ``refill`` counts change with the secret are leaking through
+    lower-level occupancy -- the channel a protected-L1 / shared-L2
+    design leaves open -- even where L1 access counts alone look flat.
+    """
+    from repro.analysis.dynamic import correlated_pages, trace_pages
+    from repro.analysis.workloads import GUEST_WORKLOADS
+
+    spec = leakage_spec() if spec is None else coerce_spec(spec)
+    workload = GUEST_WORKLOADS[workload_name]
+    observers = [
+        trace_pages(workload, exponent, spec=spec)
+        for exponent in workload.exponents
+    ]
+    return {
+        "design": spec.label(),
+        "workload": workload.name,
+        "correlated_access_pages": list(
+            correlated_pages(tuple(o.pages for o in observers))
+        ),
+        "correlated_refill_pages": list(
+            correlated_pages(tuple(o.refill_pages for o in observers))
+        ),
+        "refills": [observer.refills for observer in observers],
+        "accesses": [observer.accesses for observer in observers],
+    }
+
+
+@dataclass(frozen=True)
+class SweepDesignResult:
+    """One sweep design's capacity row plus its performance point."""
+
+    label: str
+    spec: Dict[str, Any]
+    estimates: Dict[Vulnerability, ChannelEstimate]
+    perf: Dict[str, Any]
+
+    @property
+    def defended(self) -> int:
+        return sum(
+            1 for estimate in self.estimates.values() if estimate.defends()
+        )
+
+    def vulnerable_strategies(self) -> List[str]:
+        return sorted(
+            {
+                vulnerability.strategy.value
+                for vulnerability, estimate in self.estimates.items()
+                if not estimate.defends()
+            }
+        )
+
+
+def format_hierarchy_sweep(
+    results: List[SweepDesignResult],
+    leakage: Optional[Mapping[str, Any]] = None,
+) -> str:
+    """The cross-design matrix, one line per design."""
+    total = len(results[0].estimates) if results else 0
+    lines = [
+        "hierarchy sweep: L1 x L2 x page-walk cache"
+        f" ({len(results)} designs, {total} strategy rows each)",
+        "",
+        f"{'design':12} {'defended':>8} {'ipc':>7} {'mpki':>8}"
+        f" {'walks':>7} {'pwc':>6}   vulnerable strategies",
+        "-" * 96,
+    ]
+    for result in results:
+        perf = result.perf
+        strategies = result.vulnerable_strategies()
+        lines.append(
+            f"{result.label:12} {result.defended:>5}/{total}"
+            f" {perf['ipc']:>7.3f} {perf['mpki']:>8.2f}"
+            f" {perf['walks']:>7} {perf['pwc_hits']:>6}   "
+            + (", ".join(strategies) if strategies else "-")
+        )
+    if leakage is not None:
+        refill_pages = leakage["correlated_refill_pages"]
+        lines += [
+            "",
+            f"refill-leakage cross-check ({leakage['design']},"
+            f" {leakage['workload']} workload):",
+            f"  secret-correlated refill pages: "
+            + (
+                ", ".join(hex(page) for page in refill_pages)
+                if refill_pages
+                else "none"
+            ),
+            f"  refills per exponent: {leakage['refills']}",
+        ]
     return "\n".join(lines)

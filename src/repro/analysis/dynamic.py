@@ -20,10 +20,11 @@ from typing import Dict, Optional, Tuple
 
 from repro.isa.assembler import assemble
 from repro.isa.cpu import CPU
-from repro.security.kinds import TLBKind, make_tlb
+from repro.security.kinds import TLBKind, make_hierarchy, make_tlb
 from repro.sim.events import AccessEvent, EventBus
 from repro.sim.system import MemorySystem
 from repro.tlb.config import TLBConfig
+from repro.tlb.spec import HierarchySpec
 
 from .taint import GuestReport, LeakageFinding
 from .workloads import GuestWorkload
@@ -31,16 +32,27 @@ from .workloads import GuestWorkload
 
 @dataclass
 class TaintObserver:
-    """Per-page and per-TLB-set access tallies over the event bus."""
+    """Per-page and per-TLB-set access tallies over the event bus.
+
+    Inter-level ``refill`` events are tallied separately: on a hierarchy,
+    a page whose *refill* counts correlate with the secret is leaking
+    through lower-level occupancy even when the L1 access counts look
+    flat -- exactly the channel a protected-L1 / shared-L2 design leaves
+    open.
+    """
 
     #: TLB set count used to fold pages onto sets (0 disables set tallies).
     sets: int = 0
     pages: Counter = field(default_factory=Counter)
     tlb_sets: Counter = field(default_factory=Counter)
+    #: Per-page inter-level refill tallies (empty for single-level TLBs).
+    refill_pages: Counter = field(default_factory=Counter)
     accesses: int = 0
+    refills: int = 0
 
     def subscribe(self, bus: EventBus) -> "TaintObserver":
         bus.on_access(self._on_access)
+        bus.on_refill(self._on_refill)
         return self
 
     def _on_access(self, event: AccessEvent) -> None:
@@ -48,6 +60,10 @@ class TaintObserver:
         self.pages[event.vpn] += 1
         if self.sets:
             self.tlb_sets[event.vpn % self.sets] += 1
+
+    def _on_refill(self, event) -> None:
+        self.refills += 1
+        self.refill_pages[event.vpn] += 1
 
 
 @dataclass(frozen=True)
@@ -92,13 +108,26 @@ def trace_pages(
     exponent: int,
     kind: TLBKind = TLBKind.SA,
     config: Optional[TLBConfig] = None,
+    spec: Optional[HierarchySpec] = None,
 ) -> TaintObserver:
-    """Run one exponent through the full CPU + MemorySystem stack."""
-    config = config or TLBConfig(entries=16, ways=4)
+    """Run one exponent through the full CPU + MemorySystem stack.
+
+    With ``spec`` the workload runs on a multi-level hierarchy instead of
+    a flat ``kind``/``config`` TLB; set tallies then fold on the *last*
+    level's geometry (the level whose misses reach the walk counter), and
+    the observer's refill tallies become meaningful.
+    """
     program = assemble(workload.source(exponent))
     bus = EventBus()
-    observer = TaintObserver(sets=config.sets).subscribe(bus)
-    memory_system = MemorySystem(make_tlb(kind, config), bus=bus)
+    if spec is not None:
+        tlb = make_hierarchy(spec)
+        sets = spec.levels[-1].sets
+    else:
+        config = config or TLBConfig(entries=16, ways=4)
+        tlb = make_tlb(kind, config)
+        sets = config.sets
+    observer = TaintObserver(sets=sets).subscribe(bus)
+    memory_system = MemorySystem(tlb, bus=bus)
     cpu = CPU(memory_system=memory_system)
     cpu.load(program)
     cpu.run()

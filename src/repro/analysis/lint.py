@@ -7,8 +7,10 @@ over Python ASTs:
 ``facade-tlb-construction``
     TLB designs are built only inside ``repro.tlb`` and the registered
     factories of ``repro.security.kinds``; every drive loop goes through
-    ``make_tlb``/``make_two_level_tlb`` so experiments stay comparable
-    and observable through the :class:`repro.sim.MemorySystem` facade.
+    ``make_tlb`` (flat designs) or ``make_hierarchy`` (the one sanctioned
+    multi-level constructor -- ``make_two_level_tlb`` is its thin
+    compatibility wrapper) so experiments stay comparable and observable
+    through the :class:`repro.sim.MemorySystem` facade.
 
 ``facade-walker-construction``
     ``PageTableWalker`` is built only inside ``repro.mmu`` and the
@@ -60,6 +62,7 @@ TLB_CLASSES = frozenset(
         "RandomFillTLB",
         "DynamicPartitionTLB",
         "TwoLevelTLB",
+        "TLBHierarchy",
     }
 )
 
@@ -161,7 +164,8 @@ class FacadeTLBConstruction(Rule):
     name = "facade-tlb-construction"
     description = (
         "TLB designs are constructed only in repro.tlb and the"
-        " repro.security.kinds factories (use make_tlb/make_two_level_tlb)"
+        " repro.security.kinds factories (use make_tlb, or make_hierarchy"
+        " for multi-level designs)"
     )
     allowed_prefixes = ("repro/tlb/",)
     allowed_files = ("repro/security/kinds.py",)

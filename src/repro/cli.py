@@ -10,6 +10,7 @@
 ``table5``     the area model vs the paper's synthesis results
 ``mitigations``the Section 2.3 mitigation ladder (10/14/18/14/24)
 ``hierarchy``  the two-level TLB security study
+``hierarchy-sweep`` the declarative cross-design matrix (L1 x L2 x PWC)
 ``largepages`` the large-page software mitigation
 ``sweeps``     the SP-partition / RF-region / replacement-policy sweeps
 ``attack``     the TLBleed-style RSA key recovery demo
@@ -160,6 +161,39 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
 
     results = evaluate_hierarchies(trials=args.trials)
     print(format_hierarchy_results(results))
+    return 0
+
+
+def _cmd_hierarchy_sweep(args: argparse.Namespace) -> int:
+    from repro.ablations import (
+        SweepDesignResult,
+        evaluate_sweep_cell,
+        format_hierarchy_sweep,
+        refill_leakage,
+        sweep_perf_point,
+        sweep_rows,
+        sweep_specs,
+    )
+
+    rows = sweep_rows()
+    results = []
+    for spec in sweep_specs():
+        estimates = {
+            vulnerability: evaluate_sweep_cell(
+                spec, vulnerability, trials=args.trials
+            )
+            for _, vulnerability in rows
+        }
+        results.append(
+            SweepDesignResult(
+                label=spec.label(),
+                spec=spec.to_dict(),
+                estimates=estimates,
+                perf=sweep_perf_point(spec, rsa_runs=args.rsa_runs),
+            )
+        )
+    leakage = None if args.no_leakage else refill_leakage()
+    print(format_hierarchy_sweep(results, leakage))
     return 0
 
 
@@ -422,6 +456,25 @@ def build_parser() -> argparse.ArgumentParser:
     hierarchy.add_argument("--trials", type=int, default=40)
     hierarchy.set_defaults(func=_cmd_hierarchy)
 
+    hierarchy_sweep = subparsers.add_parser(
+        "hierarchy-sweep",
+        help="declarative cross-design sweep: L1 x L2 x page-walk cache",
+        description=(
+            "Evaluate every declarative hierarchy design (L1 in SA/SP/RF,"
+            " L2 in SA/SP/RF/none, page-walk cache on/off) against one"
+            " representative Table 2 row per attack strategy, plus an RSA"
+            " performance point per design and the refill-leakage"
+            " cross-check on the inter-level refill event stream."
+        ),
+    )
+    hierarchy_sweep.add_argument("--trials", type=int, default=25)
+    hierarchy_sweep.add_argument("--rsa-runs", type=int, default=10)
+    hierarchy_sweep.add_argument(
+        "--no-leakage", action="store_true",
+        help="skip the refill-leakage cross-check footer",
+    )
+    hierarchy_sweep.set_defaults(func=_cmd_hierarchy_sweep)
+
     largepages = subparsers.add_parser(
         "largepages", help="large-page software mitigation"
     )
@@ -641,8 +694,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seed", type=int, default=2019)
     chaos.add_argument(
-        "--design", choices=["SA", "SP", "RF"], default="SA",
-        help="TLB design under the sim campaign (default: SA)",
+        "--design",
+        choices=[
+            "SA", "SP", "RF",
+            "SA+SA", "SA+SP", "SA+RF",
+            "SP+SA", "SP+SP", "SP+RF",
+            "RF+SA", "RF+SP", "RF+RF",
+        ],
+        default="SA",
+        help=(
+            "TLB design under the sim campaign: a flat design or an"
+            " L1+L2 hierarchy label (default: SA)"
+        ),
     )
     chaos.add_argument(
         "--json", action="store_true",

@@ -143,13 +143,33 @@ def build_campaign_memory(design: str = "SA", seed: int = 2019) -> MemorySystem:
     evidence before the final audit.  128 entries / 8 ways leave slack for
     the workload's ~40 distinct pages even when the SP design halves each
     set's ways per partition and the RF design adds random fills.
+
+    ``design`` is either a flat kind (``"SA"``) or a two-level hierarchy
+    label (``"RF+SA"``); hierarchy campaigns arm the same faults against
+    a :class:`repro.tlb.TLBHierarchy` (L2 twice the L1's entries, again
+    eviction-free) so the per-level detectors are exercised end to end.
     """
     import random
 
-    from repro.security.kinds import TLBKind, make_tlb
+    from repro.security.kinds import TLBKind, make_hierarchy, make_tlb
     from repro.tlb.config import TLBConfig
+    from repro.tlb.spec import HierarchySpec
 
-    kind = TLBKind(design.upper())
+    name = design.upper()
+    if "+" in name:
+        l1_kind, l2_kind = name.split("+")
+        spec = HierarchySpec.two_level(
+            l1_kind,
+            l2_kind,
+            TLBConfig(entries=128, ways=8),
+            TLBConfig(entries=256, ways=8),
+        )
+        tlb = make_hierarchy(spec, victim_asid=1, rng=random.Random(seed))
+        memory = MemorySystem(tlb, walker=make_walker())
+        if "RF" in (l1_kind, l2_kind):
+            memory.set_secure_region(0x200, 0x10, victim_asid=1)
+        return memory
+    kind = TLBKind(name)
     config = TLBConfig(entries=128, ways=8)
     tlb = make_tlb(kind, config, rng=random.Random(seed))
     memory = MemorySystem(tlb, walker=make_walker())
@@ -191,7 +211,7 @@ def run_sim_campaign(
 ) -> CampaignReport:
     """Inject each sim-layer fault of ``plan`` into its own fresh run."""
     plan = plan if plan is not None else default_sim_plan(seed)
-    relaxed = design.upper() == "RF"
+    relaxed = "RF" in design.upper().split("+")
     report = CampaignReport(name=f"sim/{design.upper()}", seed=plan.seed)
 
     # Fault-free baseline: the detectors must stay quiet on a clean run.

@@ -17,6 +17,12 @@ Table 4 / Figure 7 conclusions.
 ``walk-timing``         a walk latency is not a whole number of levels
 ``flush-efficacy``      entries survive a flush the bus says happened
 ======================  =====================================================
+
+Detectors are hierarchy-aware: ``tlb-audit`` runs the structural check in
+every level (the hierarchy prefixes problems with ``L<n>:``), and the
+shadow model keeps one shadow *per level*, replaying the level-tagged
+fill/evict events, so corruption confined to an L2 is caught even when
+the L1 stays pristine.
 """
 
 from __future__ import annotations
@@ -25,8 +31,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.mmu.address import LEVELS
-from repro.sim.events import AccessEvent, EvictEvent, FlushEvent, WalkEvent
+from repro.sim.events import EvictEvent, FillEvent, FlushEvent, WalkEvent
 from repro.sim.system import MemorySystem
+
+
+def _levels_of(tlb) -> List[Tuple[int, object]]:
+    """``(1-based level number, level TLB)`` pairs; one pair when flat."""
+    levels = getattr(tlb, "levels", None)
+    if levels is None:
+        return [(1, tlb)]
+    return [(number, level) for number, level in enumerate(levels, start=1)]
 
 
 class Detector:
@@ -59,14 +73,21 @@ class TLBAuditDetector(Detector):
 
 
 class ShadowModelDetector(Detector):
-    """Replays bus events into a shadow TLB and diffs it against reality.
+    """Replays bus events into per-level shadow TLBs and diffs reality.
 
-    Every architecturally announced fill must still be resident (unless an
-    announced eviction, flush or context-switch policy removed it), and
-    must translate to the announced PPN.  With ``strict`` (standard
-    designs, whose every fill is bus-visible) the converse holds too: no
-    unannounced entries may exist.  The Random-Fill TLB's random fills are
-    deliberately invisible on the bus, so RF runs audit one-sided.
+    Every architecturally announced fill must still be resident in its
+    level (unless an announced eviction, flush or context-switch policy
+    removed it), and must translate to the announced PPN.  With ``strict``
+    (standard designs, whose every fill is bus-visible) the converse holds
+    too: no unannounced entries may exist.  The Random-Fill TLB's random
+    fills are deliberately invisible on the bus, so RF levels audit
+    one-sided regardless of ``strict`` (detected via the design's no-fill
+    buffer flag).
+
+    One shadow per hierarchy level, keyed by the events' ``level`` tag,
+    means corruption confined to a lower level is caught even when the L1
+    stays pristine -- a flat shadow would let an L2 bit flip hide behind a
+    correct L1 copy of the same page.
     """
 
     name = "shadow-model"
@@ -74,54 +95,72 @@ class ShadowModelDetector(Detector):
     def __init__(self, strict: bool = True) -> None:
         super().__init__()
         self.strict = strict
-        #: (vpn, asid) -> announced ppn, for base-page fills.
-        self.shadow: Dict[Tuple[int, int], int] = {}
+        #: level -> (vpn, asid) -> announced ppn, for base-page fills.
+        self.shadow: Dict[int, Dict[Tuple[int, int], int]] = {}
 
     def attach(self, memory: MemorySystem) -> "ShadowModelDetector":
         super().attach(memory)
         bus = memory.bus
-        bus.on_access(self._on_access)
+        bus.on_fill(self._on_fill)
         bus.on_evict(self._on_evict)
         bus.on_flush(self._on_flush)
         return self
 
-    def _on_access(self, event: AccessEvent) -> None:
-        if event.filled:
-            self.shadow[(event.vpn, event.asid)] = event.ppn
+    def _level(self, number: int) -> Dict[Tuple[int, int], int]:
+        shadow = self.shadow.get(number)
+        if shadow is None:
+            shadow = self.shadow[number] = {}
+        return shadow
+
+    def _on_fill(self, event: FillEvent) -> None:
+        if event.ppn is not None:
+            self._level(event.level)[(event.vpn, event.asid)] = event.ppn
 
     def _on_evict(self, event: EvictEvent) -> None:
-        self.shadow.pop((event.vpn, event.asid), None)
+        self._level(event.level).pop((event.vpn, event.asid), None)
 
     def _on_flush(self, event: FlushEvent) -> None:
-        if event.scope == "all":
-            self.shadow.clear()
-        elif event.scope == "asid":
-            for key in [k for k in self.shadow if k[1] == event.asid]:
-                del self.shadow[key]
-        elif event.scope == "page":
-            self.shadow.pop((event.vpn, event.asid), None)
+        shadows = (
+            self.shadow.values()
+            if event.level is None
+            else (self._level(event.level),)
+        )
+        for shadow in shadows:
+            if event.scope == "all":
+                shadow.clear()
+            elif event.scope == "asid":
+                for key in [k for k in shadow if k[1] == event.asid]:
+                    del shadow[key]
+            elif event.scope == "page":
+                shadow.pop((event.vpn, event.asid), None)
 
     def finish(self) -> None:
+        for number, level in _levels_of(self.memory.tlb):
+            self._finish_level(number, level)
+
+    def _finish_level(self, number: int, level) -> None:
+        shadow = self.shadow.get(number, {})
         real = {
             (entry.vpn, entry.asid): entry.ppn
-            for entry in self.memory.tlb.entries()
+            for entry in level.entries()
             if entry.level == 0
         }
-        for (vpn, asid), ppn in sorted(self.shadow.items()):
+        for (vpn, asid), ppn in sorted(shadow.items()):
             if (vpn, asid) not in real:
                 self.flag(
-                    f"announced fill vpn={vpn:#x} asid={asid} is no longer"
-                    " resident (no eviction or flush was announced)"
+                    f"L{number}: announced fill vpn={vpn:#x} asid={asid} is"
+                    " no longer resident (no eviction or flush was announced)"
                 )
             elif real[(vpn, asid)] != ppn:
                 self.flag(
-                    f"vpn={vpn:#x} asid={asid} translates to"
+                    f"L{number}: vpn={vpn:#x} asid={asid} translates to"
                     f" {real[(vpn, asid)]:#x}, bus announced {ppn:#x}"
                 )
-        if self.strict:
-            for (vpn, asid) in sorted(set(real) - set(self.shadow)):
+        if self.strict and not getattr(level, "_NOFILL_BUFFER", False):
+            for (vpn, asid) in sorted(set(real) - set(shadow)):
                 self.flag(
-                    f"unannounced resident entry vpn={vpn:#x} asid={asid}"
+                    f"L{number}: unannounced resident entry"
+                    f" vpn={vpn:#x} asid={asid}"
                 )
 
 
@@ -161,10 +200,16 @@ class SecBitDetector(Detector):
     name = "sec-bit"
 
     def finish(self) -> None:
-        tlb = self.memory.tlb
+        # Per level: each level holds its own region registers (a
+        # hierarchy may protect the L1 while leaving the L2's Sec-bit
+        # machinery unprogrammed via the spec's ``sec_bit: false``).
+        for _number, level in _levels_of(self.memory.tlb):
+            self._finish_level(level)
+
+    def _finish_level(self, tlb) -> None:
         sbase = getattr(tlb, "sbase", 0)
         ssize = getattr(tlb, "ssize", 0)
-        for entry in self.memory.tlb.entries():
+        for entry in tlb.entries():
             inside = ssize > 0 and sbase <= entry.vpn < sbase + ssize
             if entry.sec and not inside:
                 self.flag(
@@ -186,6 +231,8 @@ class WalkTimingDetector(Detector):
     Footnote 3: no page-walk cache, so a walk's cycles are exactly
     ``levels_touched * cycles_per_level`` with ``1 <= levels <= 3``.
     Jitter breaks the multiple; detection is immediate, per event.
+    Walks tagged ``cached`` were served by a hierarchy's page-walk cache
+    (hardware the footnote excludes) and are exempt.
     """
 
     name = "walk-timing"
@@ -206,6 +253,8 @@ class WalkTimingDetector(Detector):
         return self
 
     def _on_walk(self, event: WalkEvent) -> None:
+        if event.cached:
+            return
         if self._allowed is not None and event.cycles not in self._allowed:
             self.flag(
                 f"walk of vpn={event.vpn:#x} took {event.cycles} cycles,"

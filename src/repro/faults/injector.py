@@ -90,7 +90,7 @@ class SimFaultInjector:
     def _live_entries(self) -> List[Tuple[Any, int, TLBEntry]]:
         """(owning level, set index, live entry), reaching under the facade."""
         tlb = self.memory.tlb
-        levels = [tlb.l1, tlb.l2] if hasattr(tlb, "l1") else [tlb]
+        levels = list(getattr(tlb, "levels", ())) or [tlb]
         return [
             (level, index, entry)
             for level in levels

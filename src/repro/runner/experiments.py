@@ -43,6 +43,8 @@ DEFAULT_OPTIONS: Dict[str, Any] = {
     "series_rsa_runs": [50, 100, 150],
     "mitigation_trials": 200,
     "hierarchy_trials": 100,
+    "hierarchy_sweep_trials": 40,
+    "hierarchy_sweep_rsa_runs": 10,
     "largepage_trials": 200,
     "rf_region_trials": 200,
     "attack_key_bits": 128,
@@ -397,6 +399,111 @@ class HierarchyExperiment(Experiment):
             HierarchyResult(name=name, estimates=estimates)
             for name, estimates in grouped.items()
         ]
+
+
+@register("hierarchy_sweep")
+class HierarchySweepExperiment(Experiment):
+    """The declarative cross-design sweep: L1 x L2 x PWC.
+
+    One security cell per (design, representative Table 2 row), one
+    performance cell per design, plus the refill-leakage cross-check.
+    Designs travel as plain :meth:`repro.tlb.HierarchySpec.to_dict`
+    payloads, so any worker can rebuild its hierarchy from the params
+    alone and ``repro serve`` specs can scale the sweep's trials.
+    """
+
+    def units(self, options: Mapping[str, Any]) -> List[Unit]:
+        from repro.ablations import leakage_spec, sweep_rows, sweep_specs
+
+        trials = opt(options, "hierarchy_sweep_trials")
+        rsa_runs = opt(options, "hierarchy_sweep_rsa_runs")
+        units = []
+        for spec in sweep_specs():
+            for index, vulnerability in sweep_rows():
+                units.append(
+                    self.unit(
+                        f"{spec.label()}/{vulnerability.pretty()}",
+                        part="security",
+                        spec=spec.to_dict(),
+                        row=index,
+                        trials=trials,
+                    )
+                )
+            units.append(
+                self.unit(
+                    f"perf/{spec.label()}",
+                    part="perf",
+                    spec=spec.to_dict(),
+                    rsa_runs=rsa_runs,
+                )
+            )
+        units.append(
+            self.unit(
+                "refill-leakage",
+                part="leakage",
+                spec=leakage_spec().to_dict(),
+            )
+        )
+        return units
+
+    @staticmethod
+    def run(params: Mapping[str, Any]) -> Any:
+        from repro.ablations import (
+            evaluate_sweep_cell,
+            refill_leakage,
+            sweep_perf_point,
+        )
+        from repro.model.table2 import table2_vulnerabilities
+
+        part = params["part"]
+        if part == "security":
+            return evaluate_sweep_cell(
+                params["spec"],
+                table2_vulnerabilities()[params["row"]],
+                trials=params["trials"],
+            )
+        if part == "perf":
+            return sweep_perf_point(
+                params["spec"], rsa_runs=params["rsa_runs"]
+            )
+        if part == "leakage":
+            return refill_leakage(params["spec"])
+        raise ValueError(f"unknown sweep part {part!r}")
+
+    def assemble(self, values: List[Any], options: Mapping[str, Any]) -> Any:
+        from repro.ablations import SweepDesignResult
+        from repro.model.table2 import table2_vulnerabilities
+        from repro.tlb import HierarchySpec
+
+        rows = table2_vulnerabilities()
+        by_label: Dict[str, Dict[str, Any]] = {}
+        leakage = None
+        for unit, value in zip(self.units(options), values):
+            part = unit.params["part"]
+            if part == "leakage":
+                leakage = value
+                continue
+            label = HierarchySpec.from_dict(unit.params["spec"]).label()
+            bucket = by_label.setdefault(
+                label,
+                {"spec": unit.params["spec"], "estimates": {}, "perf": None},
+            )
+            if part == "security":
+                bucket["estimates"][rows[unit.params["row"]]] = value
+            else:
+                bucket["perf"] = value
+        return {
+            "designs": [
+                SweepDesignResult(
+                    label=label,
+                    spec=bucket["spec"],
+                    estimates=bucket["estimates"],
+                    perf=bucket["perf"],
+                )
+                for label, bucket in by_label.items()
+            ],
+            "leakage": leakage,
+        }
 
 
 @register("largepages")

@@ -30,6 +30,7 @@ ARTIFACT_SOURCES: Dict[str, Tuple[str, ...]] = {
     "fig7_runs_series.txt": ("fig7",),
     "table5.txt": ("table5",),
     "mitigations.txt": ("mitigations", "largepages", "hierarchy"),
+    "hierarchy_sweep.txt": ("hierarchy_sweep",),
     "sweeps.txt": ("sweeps",),
     "attacks.txt": ("attacks",),
 }
@@ -92,6 +93,14 @@ def _mitigations_text(
         + format_large_page_comparison(large_pages, 10, 13)
         + "\n\n"
         + format_hierarchy_results(hierarchies)
+    )
+
+
+def _hierarchy_sweep_text(sweep: Mapping[str, Any]) -> str:
+    from repro.ablations import format_hierarchy_sweep
+
+    return (
+        format_hierarchy_sweep(sweep["designs"], sweep["leakage"]) + "\n"
     )
 
 
@@ -220,6 +229,10 @@ def write_artifacts(
              assembled["mitigations"],
              assembled["largepages"],
              assembled["hierarchy"],
+         )))
+    emit("hierarchy_sweep.txt",
+         lambda p: p.write_text(_hierarchy_sweep_text(
+             assembled["hierarchy_sweep"]
          )))
     emit("sweeps.txt",
          lambda p: p.write_text(_sweeps_text(assembled["sweeps"])))

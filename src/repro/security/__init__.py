@@ -26,7 +26,7 @@ from .evaluate import (
     format_table4,
     table4_cells,
 )
-from .kinds import TLBKind, make_tlb
+from .kinds import TLBKind, make_hierarchy, make_tlb, make_two_level_tlb
 from .theory import TheoreticalModel
 
 __all__ = [
@@ -43,7 +43,9 @@ __all__ = [
     "generate",
     "table4_cells",
     "layout_for_partitioned_tlb",
+    "make_hierarchy",
     "make_tlb",
+    "make_two_level_tlb",
     "region_size_for",
     "secret_page",
 ]

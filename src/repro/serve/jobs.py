@@ -70,6 +70,7 @@ TRIALS_OPTION = {
     "table7": "table7_trials",
     "mitigations": "mitigation_trials",
     "hierarchy": "hierarchy_trials",
+    "hierarchy_sweep": "hierarchy_sweep_trials",
     "largepages": "largepage_trials",
 }
 

@@ -9,9 +9,11 @@ trace-driven timing model, each end-to-end attack, the security harness).
 * :class:`MemorySystem` -- the facade owning the TLB (or hierarchy), the
   page-table walker, the context-switch policy and cycle accounting.  Every
   drive loop in the repository performs its translations through it.
-* :class:`EventBus` -- a typed publish/subscribe bus carrying the six
-  architectural events (``access``, ``fill``, ``evict``, ``flush``,
-  ``walk``, ``context_switch``) out of the translation path.
+* :class:`EventBus` -- a typed publish/subscribe bus carrying the seven
+  architectural events (``access``, ``fill``, ``refill``, ``evict``,
+  ``flush``, ``walk``, ``context_switch``) out of the translation path.
+  Hierarchies tag fills/evicts with their level and announce inter-level
+  movement as ``refill`` events.
 * Observers -- :class:`TraceObserver` dumps the event stream as JSONL
   (``python -m repro trace <scenario>``); :class:`StatsObserver` keeps
   cheap aggregate counters without touching the hot path when detached.
@@ -32,6 +34,7 @@ from .events import (
     EvictEvent,
     FillEvent,
     FlushEvent,
+    RefillEvent,
     WalkEvent,
 )
 from .kernel import (
@@ -66,6 +69,7 @@ __all__ = [
     "JsonlWriter",
     "MemorySystem",
     "ProbeOutcome",
+    "RefillEvent",
     "SetProber",
     "StatsObserver",
     "TornRecordError",

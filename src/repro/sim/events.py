@@ -1,20 +1,27 @@
 """Typed events and the publish/subscribe bus of the simulation core.
 
 Each event is an immutable record of one architecturally visible action at
-the :class:`repro.sim.MemorySystem` boundary.  All six are frozen *and*
+the :class:`repro.sim.MemorySystem` boundary.  All seven are frozen *and*
 slotted: traced runs construct one per action, so the fixed layout keeps
 them small and their construction cheap (the ``repro analyze`` linter
-enforces both flags).  The six event types mirror
+enforces both flags).  The event types mirror
 the paper's Section 4 flow-chart inputs:
 
 =====================  =====================================================
 ``AccessEvent``        one translation request (hit or miss)
 ``WalkEvent``          the page-table walk a miss triggered
 ``FillEvent``          the requested translation was installed in the TLB
+``RefillEvent``        a miss served from a lower TLB level (no walk)
 ``EvictEvent``         a valid entry was displaced by that fill
 ``FlushEvent``         a maintenance operation (full / per-ASID / per-page)
 ``ContextSwitchEvent`` the running address space changed
 =====================  =====================================================
+
+Multi-level hierarchies (:class:`repro.tlb.TLBHierarchy`) tag fills and
+evictions with their 1-based hierarchy ``level`` (1 = the CPU-facing L1)
+and announce inter-level movement with ``RefillEvent`` -- an L1 miss that
+the L2 serves emits a level-1 refill and *no* walk event, so observers can
+finally tell an inter-level refill from a true page-table walk.
 
 Design-internal actions that are *not* architecturally visible through the
 facade -- e.g. the Random-Fill TLB's random fills of Section 4.2 -- are by
@@ -49,28 +56,64 @@ class AccessEvent:
 
 @dataclass(frozen=True, slots=True)
 class WalkEvent:
-    """The page-table walk performed on a miss."""
+    """The page-table walk performed on a miss.
+
+    ``cached`` marks walks served by a hierarchy's page-walk cache: no
+    radix levels were touched, so their cycles are the PWC's hit latency
+    rather than a whole number of level accesses.
+    """
 
     vpn: int
     asid: int
     cycles: int
+    cached: bool = False
 
 
 @dataclass(frozen=True, slots=True)
 class FillEvent:
-    """The requested translation was installed in the TLB."""
+    """The requested translation was installed in the TLB.
+
+    ``level`` is the 1-based hierarchy level that filled (always 1 for a
+    single-level TLB); ``ppn`` the installed translation.
+    """
 
     vpn: int
     asid: int
+    level: int = 1
+    ppn: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class RefillEvent:
+    """A miss at ``level`` was served by a lower TLB level, not a walk.
+
+    Emitted once per level that missed above the hitting one: an L1 miss
+    that hits in the L2 emits ``RefillEvent(level=1, hit_level=2)``.  The
+    requested translation moved between levels without touching the page
+    tables, which is exactly the movement a single-level event stream
+    conflated with walks.
+    """
+
+    vpn: int
+    asid: int
+    #: The 1-based level whose miss was served from below.
+    level: int
+    #: The 1-based level that actually hit.
+    hit_level: int
 
 
 @dataclass(frozen=True, slots=True)
 class EvictEvent:
-    """A valid entry was displaced by a fill."""
+    """A valid entry was displaced by a fill.
+
+    ``page_level`` is the evicted entry's superpage level (0 = 4 KiB);
+    ``level`` the 1-based hierarchy level the eviction happened in.
+    """
 
     vpn: int
     asid: int
-    level: int
+    page_level: int
+    level: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,13 +122,17 @@ class FlushEvent:
 
     ``scope`` is ``"all"``, ``"asid"`` or ``"page"``; ``present`` reports,
     for per-page invalidations, whether the entry was resident (the
-    Appendix B presence-dependent timing observable).
+    Appendix B presence-dependent timing observable).  ``level`` names one
+    hierarchy level when a flush is level-targeted; ``None`` means the
+    operation reached every level (hierarchies propagate maintenance to
+    all levels and the page-walk cache).
     """
 
     scope: str
     asid: int | None = None
     vpn: int | None = None
     present: bool | None = None
+    level: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -143,6 +190,9 @@ class EventBus:
     def on_fill(self, handler: Handler) -> Handler:
         return self.subscribe(FillEvent, handler)
 
+    def on_refill(self, handler: Handler) -> Handler:
+        return self.subscribe(RefillEvent, handler)
+
     def on_evict(self, handler: Handler) -> Handler:
         return self.subscribe(EvictEvent, handler)
 
@@ -157,6 +207,7 @@ EVENT_TYPES = (
     AccessEvent,
     WalkEvent,
     FillEvent,
+    RefillEvent,
     EvictEvent,
     FlushEvent,
     ContextSwitchEvent,
@@ -167,6 +218,7 @@ EVENT_NAMES = {
     AccessEvent: "access",
     WalkEvent: "walk",
     FillEvent: "fill",
+    RefillEvent: "refill",
     EvictEvent: "evict",
     FlushEvent: "flush",
     ContextSwitchEvent: "context_switch",

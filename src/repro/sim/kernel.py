@@ -114,8 +114,10 @@ class CompiledTrace:
 def supports_fastpath(tlb: object) -> bool:
     """Whether a TLB-like object implements the packed fast path.
 
-    True for every :class:`repro.tlb.BaseTLB` design and the two-level
-    hierarchy; duck-typed so externally-composed stand-ins simply fall
-    back to the reference path instead of breaking.
+    True for every :class:`repro.tlb.BaseTLB` design and any
+    :class:`repro.tlb.TLBHierarchy` depth (each level keeps its own fast
+    lookup index; only the outermost hit path is exercised per access);
+    duck-typed so externally-composed stand-ins simply fall back to the
+    reference path instead of breaking.
     """
     return hasattr(tlb, "translate_fast")

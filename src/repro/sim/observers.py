@@ -26,6 +26,7 @@ from .events import (
     EvictEvent,
     FillEvent,
     FlushEvent,
+    RefillEvent,
     WalkEvent,
 )
 
@@ -176,6 +177,9 @@ class StatsObserver:
     walks: int = 0
     walk_cycles: int = 0
     fills: int = 0
+    #: Misses served from a lower hierarchy level (no page-table walk);
+    #: always zero for single-level TLBs.
+    refills: int = 0
     evictions: int = 0
     flushes: int = 0
     context_switches: int = 0
@@ -185,6 +189,7 @@ class StatsObserver:
         bus.on_access(self._on_access)
         bus.on_walk(self._on_walk)
         bus.on_fill(self._on_fill)
+        bus.on_refill(self._on_refill)
         bus.on_evict(self._on_evict)
         bus.on_flush(self._on_flush)
         bus.on_context_switch(self._on_context_switch)
@@ -212,6 +217,9 @@ class StatsObserver:
     def _on_fill(self, _event: FillEvent) -> None:
         self.fills += 1
 
+    def _on_refill(self, _event: RefillEvent) -> None:
+        self.refills += 1
+
     def _on_evict(self, _event: EvictEvent) -> None:
         self.evictions += 1
 
@@ -234,6 +242,7 @@ class StatsObserver:
             "cycles": self.cycles,
             "walks": self.walks,
             "fills": self.fills,
+            "refills": self.refills,
             "evictions": self.evictions,
             "flushes": self.flushes,
             "context_switches": self.context_switches,

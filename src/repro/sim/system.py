@@ -1,9 +1,18 @@
 """The :class:`MemorySystem` facade: the one translation path.
 
 Owns the TLB (any :class:`repro.tlb.BaseTLB`-compatible object, including
-:class:`repro.tlb.TwoLevelTLB`), the page-table walker, the context-switch
-TLB policy and the cycle accounting, and publishes every architecturally
-visible action on its :class:`repro.sim.EventBus`.
+:class:`repro.tlb.TLBHierarchy`), the page-table walker, the
+context-switch TLB policy and the cycle accounting, and publishes every
+architecturally visible action on its :class:`repro.sim.EventBus`.
+
+For multi-level hierarchies the facade additionally derives level-tagged
+events: while the bus is active it asks the hierarchy to record which
+levels each request consulted (``begin_trace`` / ``pop_trace``) and turns
+the records into per-level fills and evictions, ``refill`` events for
+misses served by a lower TLB level, and walk events only for true
+page-table walks (tagged ``cached`` when a page-walk cache served them).
+Records for other page numbers -- e.g. an RF level's random fills -- are
+discarded, preserving the single-level stream's opacity guarantee.
 
 Every drive loop in the repository -- the ISA CPU, the trace-driven timing
 model, the end-to-end attacks and the security evaluation harness --
@@ -18,6 +27,7 @@ from typing import Optional
 
 from repro.mmu import SwitchPolicy
 from repro.tlb.base import AccessResult, Translator
+from repro.tlb.hierarchy import TLBHierarchy
 
 from .events import (
     AccessEvent,
@@ -26,6 +36,7 @@ from .events import (
     EvictEvent,
     FillEvent,
     FlushEvent,
+    RefillEvent,
     WalkEvent,
 )
 
@@ -45,6 +56,11 @@ class MemorySystem:
 
             walker = PageTableWalker(auto_map=True)
         self.tlb = tlb
+        #: Set when the TLB is a multi-level hierarchy: enables per-access
+        #: trace recording and level-tagged event derivation.
+        self._hierarchy: Optional[TLBHierarchy] = (
+            tlb if isinstance(tlb, TLBHierarchy) else None
+        )
         self.walker = walker
         self.switch_policy = switch_policy
         self.bus = bus if bus is not None else EventBus()
@@ -61,10 +77,18 @@ class MemorySystem:
 
     def translate(self, vpn: int, asid: int) -> AccessResult:
         """Translate one page access through the TLB, publishing events."""
-        result = self.tlb.translate(vpn, asid, self.walker)
+        bus = self.bus
+        hierarchy = self._hierarchy if bus.active else None
+        if hierarchy is not None:
+            hierarchy.begin_trace()
+            try:
+                result = hierarchy.translate(vpn, asid, self.walker)
+            finally:
+                records = hierarchy.pop_trace()
+        else:
+            result = self.tlb.translate(vpn, asid, self.walker)
         self.accesses += 1
         self.cycles += result.cycles
-        bus = self.bus
         if bus.active:
             bus.emit(
                 AccessEvent(
@@ -76,25 +100,120 @@ class MemorySystem:
                     filled=result.filled,
                 )
             )
-            if not result.hit:
-                hit_latency = self.tlb.config.hit_latency
+            if hierarchy is not None:
+                self._emit_hierarchy_events(bus, vpn, asid, result, records)
+            else:
+                if not result.hit:
+                    hit_latency = self.tlb.config.hit_latency
+                    bus.emit(
+                        WalkEvent(
+                            vpn=vpn,
+                            asid=asid,
+                            cycles=max(result.cycles - hit_latency, 0),
+                        )
+                    )
+                    if result.filled:
+                        bus.emit(
+                            FillEvent(vpn=vpn, asid=asid, ppn=result.ppn)
+                        )
+                if result.evicted is not None:
+                    evicted = result.evicted
+                    bus.emit(
+                        EvictEvent(
+                            vpn=evicted.vpn,
+                            asid=evicted.asid,
+                            page_level=evicted.level,
+                        )
+                    )
+        return result
+
+    def _emit_hierarchy_events(
+        self, bus: EventBus, vpn: int, asid: int, result: AccessResult, records
+    ) -> None:
+        """Turn one access's consult/walk records into level-tagged events.
+
+        Records are appended innermost first (the walk, then each consulted
+        level from deepest to the L2); only records for the requested page
+        number are considered, so design-internal traffic such as RF random
+        fills stays invisible -- the same opacity the single-level stream
+        guarantees.  A miss with no walk record was served from a lower TLB
+        level and becomes ``refill`` events instead of a walk.
+        """
+        if result.hit:
+            return
+        walk_record = next(
+            (
+                record
+                for record in records
+                if record[0] == "walk" and record[1] == vpn
+            ),
+            None,
+        )
+        # Consulted lower levels for this page, deepest first.
+        consulted = [
+            (record[1], record[3])
+            for record in records
+            if record[0] == "level" and record[2] == vpn
+        ]
+        if walk_record is not None:
+            walk_result, cached = walk_record[2], walk_record[3]
+            bus.emit(
+                WalkEvent(
+                    vpn=vpn,
+                    asid=asid,
+                    cycles=walk_result.cycles,
+                    cached=cached,
+                )
+            )
+        else:
+            # Served by a lower TLB level: every level above it refills.
+            hit_level = next(
+                (number for number, level in consulted if level.hit), None
+            )
+            if hit_level is not None:
+                for missed in range(hit_level - 1, 0, -1):
+                    bus.emit(
+                        RefillEvent(
+                            vpn=vpn,
+                            asid=asid,
+                            level=missed,
+                            hit_level=hit_level,
+                        )
+                    )
+        # Fills and evictions, deepest level first (the order they happened).
+        for number, level_result in consulted:
+            if level_result.miss and level_result.filled:
                 bus.emit(
-                    WalkEvent(
+                    FillEvent(
                         vpn=vpn,
                         asid=asid,
-                        cycles=max(result.cycles - hit_latency, 0),
+                        level=number,
+                        ppn=level_result.ppn,
                     )
                 )
-                if result.filled:
-                    bus.emit(FillEvent(vpn=vpn, asid=asid))
-            if result.evicted is not None:
-                evicted = result.evicted
+        if result.filled:
+            bus.emit(FillEvent(vpn=vpn, asid=asid, level=1, ppn=result.ppn))
+        for number, level_result in consulted:
+            if level_result.evicted is not None:
+                evicted = level_result.evicted
                 bus.emit(
                     EvictEvent(
-                        vpn=evicted.vpn, asid=evicted.asid, level=evicted.level
+                        vpn=evicted.vpn,
+                        asid=evicted.asid,
+                        page_level=evicted.level,
+                        level=number,
                     )
                 )
-        return result
+        if result.evicted is not None:
+            evicted = result.evicted
+            bus.emit(
+                EvictEvent(
+                    vpn=evicted.vpn,
+                    asid=evicted.asid,
+                    page_level=evicted.level,
+                    level=1,
+                )
+            )
 
     def translate_fast(self, vpn: int, asid: int) -> int:
         """Allocation-free translate: ``cycles << 2 | hit << 1 | filled``.

@@ -35,7 +35,8 @@ from .replacement import (
     make_policy,
 )
 from .dp import DynamicPartitionTLB
-from .hierarchy import TwoLevelTLB
+from .hierarchy import PageWalkCache, PWCStats, TLBHierarchy, TwoLevelTLB
+from .spec import HierarchySpec, LevelSpec, PWCSpec
 from .rf import RandomFillEngine, RandomFillTLB
 from .sa import SetAssociativeTLB
 from .sp import StaticPartitionTLB
@@ -46,8 +47,13 @@ __all__ = [
     "BaseTLB",
     "DynamicPartitionTLB",
     "FIFOPolicy",
+    "HierarchySpec",
     "IdentityTranslator",
     "LRUPolicy",
+    "LevelSpec",
+    "PWCSpec",
+    "PWCStats",
+    "PageWalkCache",
     "RandomFillEngine",
     "RandomFillTLB",
     "RandomPolicy",
@@ -57,6 +63,7 @@ __all__ = [
     "StaticPartitionTLB",
     "TLBConfig",
     "TLBEntry",
+    "TLBHierarchy",
     "TLBStats",
     "TwoLevelTLB",
     "Translator",

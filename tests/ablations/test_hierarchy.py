@@ -49,3 +49,133 @@ class TestHierarchySecurity:
         text = format_hierarchy_results([sa_sa, rf_rf])
         assert "RF L1 + RF L2" in text
         assert "/24" in text
+
+
+# -- the declarative cross-design sweep -----------------------------------------
+
+
+class TestSweepEnumeration:
+    def test_24_designs_with_unique_labels(self):
+        from repro.ablations import sweep_specs
+
+        specs = sweep_specs()
+        assert len(specs) == 24
+        labels = [spec.label() for spec in specs]
+        assert len(set(labels)) == 24
+        assert "SA+SA" in labels and "RF+RF+pwc" in labels
+        assert "RF" in labels  # the flat (no-L2) designs are included
+
+    def test_one_row_per_strategy(self):
+        from repro.ablations import sweep_rows
+
+        rows = sweep_rows()
+        strategies = [vulnerability.strategy for _, vulnerability in rows]
+        assert len(strategies) == len(set(strategies)) == 7
+
+    def test_specs_survive_the_cell_param_round_trip(self):
+        from repro.ablations import sweep_specs
+        from repro.ablations.hierarchy import coerce_spec
+
+        for spec in sweep_specs():
+            assert coerce_spec(spec.to_dict()) == spec
+
+
+class TestSweepCells:
+    def find_row(self, strategy):
+        from repro.ablations import sweep_rows
+
+        for _, vulnerability in sweep_rows():
+            if vulnerability.strategy is strategy:
+                return vulnerability
+        raise AssertionError(strategy)
+
+    def test_cell_is_deterministic(self):
+        from repro.ablations import evaluate_sweep_cell, sweep_specs
+
+        spec = sweep_specs()[0]
+        vulnerability = self.find_row(Strategy.PRIME_PROBE)
+        first = evaluate_sweep_cell(spec, vulnerability, trials=6)
+        second = evaluate_sweep_cell(spec, vulnerability, trials=6)
+        assert (first.p1, first.p2) == (second.p1, second.p2)
+
+    def test_sa_sa_leaks_prime_probe_and_rf_rf_defends(self):
+        from repro.ablations import evaluate_sweep_cell
+        from repro.tlb import HierarchySpec, TLBConfig
+
+        l1 = TLBConfig(entries=32, ways=8, hit_latency=1)
+        l2 = TLBConfig(entries=256, ways=8, hit_latency=8)
+        vulnerability = self.find_row(Strategy.PRIME_PROBE)
+        leaky = evaluate_sweep_cell(
+            HierarchySpec.two_level("SA", "SA", l1, l2),
+            vulnerability,
+            trials=12,
+        )
+        assert not leaky.defends()
+        safe = evaluate_sweep_cell(
+            HierarchySpec.two_level("RF", "RF", l1, l2),
+            vulnerability,
+            trials=12,
+        )
+        assert safe.defends()
+
+    def test_perf_point_reports_the_design(self):
+        from repro.ablations import sweep_perf_point, sweep_specs
+
+        point = sweep_perf_point(sweep_specs()[0], rsa_runs=2)
+        assert point["design"] == "SA+SA"
+        assert 0 < point["ipc"] <= 1
+        assert point["walks"] > 0
+
+
+class TestRefillLeakage:
+    @pytest.fixture(scope="class")
+    def leaky(self):
+        from repro.ablations import refill_leakage
+
+        return refill_leakage()
+
+    def test_leaky_workload_has_secret_correlated_refills(self, leaky):
+        assert leaky["workload"] == "rsa"
+        assert leaky["correlated_refill_pages"]
+        assert max(leaky["refills"]) > 0
+
+    def test_constant_time_workload_is_flat(self):
+        from repro.ablations import refill_leakage
+
+        clean = refill_leakage(workload_name="rsa-ct")
+        assert clean["correlated_refill_pages"] == []
+
+
+class TestSweepFormatting:
+    def test_matrix_and_leakage_footer(self):
+        from repro.ablations import (
+            SweepDesignResult,
+            evaluate_sweep_cell,
+            format_hierarchy_sweep,
+            sweep_specs,
+        )
+
+        spec = sweep_specs()[0]
+        vulnerability = TestSweepCells().find_row(Strategy.PRIME_PROBE)
+        estimate = evaluate_sweep_cell(spec, vulnerability, trials=4)
+        result = SweepDesignResult(
+            label=spec.label(),
+            spec=spec.to_dict(),
+            estimates={vulnerability: estimate},
+            perf={
+                "design": spec.label(), "ipc": 0.99, "mpki": 0.1,
+                "walks": 3, "accesses": 100, "cycles": 100, "pwc_hits": 0,
+            },
+        )
+        leakage = {
+            "design": "RF+SA",
+            "workload": "rsa",
+            "correlated_access_pages": [0x500],
+            "correlated_refill_pages": [0x500, 0x502],
+            "refills": [64, 2, 126],
+            "accesses": [1000, 900, 1100],
+        }
+        text = format_hierarchy_sweep([result], leakage)
+        assert "SA+SA" in text
+        assert "refill-leakage cross-check" in text
+        assert "0x500" in text

@@ -25,8 +25,21 @@ class TestFacadeTLBConstruction:
             "RandomFillTLB",
             "DynamicPartitionTLB",
             "TwoLevelTLB",
+            "TLBHierarchy",
         ):
             assert rules_hit(f"x = {name}(config)\n"), name
+
+    def test_make_hierarchy_is_the_sanctioned_multi_level_path(self):
+        # The factory call itself is clean; direct TLBHierarchy
+        # construction outside repro.tlb / the kinds factories is not.
+        assert rules_hit("tlb = make_hierarchy(spec)\n") == []
+        assert rules_hit("tlb = TLBHierarchy(levels)\n") == [
+            "facade-tlb-construction"
+        ]
+        assert rules_hit(
+            "tlb = TLBHierarchy(levels)\n",
+            path="repro/security/kinds.py",
+        ) == []
 
     def test_construction_inside_repro_tlb_is_allowed(self):
         source = "tlb = SetAssociativeTLB(config)\n"

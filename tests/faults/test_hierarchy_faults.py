@@ -1,0 +1,112 @@
+"""Per-level detection: corruption confined to the L2 must still be caught.
+
+The satellite scenario for the hierarchy refactor: a flat shadow model
+would let an L2 bit flip hide behind the L1's pristine copy of the same
+page (the L1 keeps answering translations correctly, so no translation
+oracle or L1 audit ever sees the damage).  The per-level shadow and audit
+close that hole; these tests corrupt *only* L2 state and require the
+``L2:``-prefixed violations to fire.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.faults import DetectorSuite, FaultSpec, SimFaultInjector
+from repro.faults.campaign import build_campaign_memory, drive_workload
+
+
+def l2_live_entries(memory):
+    level = memory.tlb.levels[1]
+    return [
+        entry
+        for tlb_set in level._sets
+        for entry in tlb_set
+        if entry.valid
+    ]
+
+
+class TestL2OnlyCorruption:
+    def corrupt_one_l2_entry(self, memory, mutate):
+        """Drive the workload, then corrupt a single live L2 entry whose
+        L1 copy is still resident -- the masking scenario."""
+        drive_workload(memory)
+        l1 = memory.tlb.levels[0]
+        for entry in l2_live_entries(memory):
+            if l1.resident(entry.vpn, entry.asid):
+                mutate(entry)
+                return entry
+        raise AssertionError("no L2 entry shadowed by a live L1 copy")
+
+    def test_l2_ppn_flip_is_caught_by_the_l2_shadow(self):
+        memory = build_campaign_memory("SA+SA")
+        suite = DetectorSuite.standard(memory)
+        victim = self.corrupt_one_l2_entry(
+            memory, lambda entry: setattr(entry, "ppn", entry.ppn ^ 0x40)
+        )
+        fired = suite.finish()
+        assert "shadow-model" in fired
+        violations = [
+            violation
+            for violation in fired["shadow-model"]
+            if violation.startswith("L2:")
+        ]
+        assert violations, fired["shadow-model"]
+        assert any(f"{victim.vpn:#x}" in v for v in violations)
+
+    def test_l2_index_corruption_is_caught_by_the_l2_audit(self):
+        memory = build_campaign_memory("SA+SA")
+        suite = DetectorSuite.standard(memory)
+        level = memory.tlb.levels[1]
+
+        def misplace(entry):
+            # Move the entry to a set its vpn does not index: only the
+            # L2's own audit can see this.
+            nsets = level.config.sets
+            home = entry.vpn % nsets
+            level._sets[(home + 1) % nsets].append(entry)
+            level._sets[home].remove(entry)
+
+        self.corrupt_one_l2_entry(memory, misplace)
+        fired = suite.finish()
+        assert "tlb-audit" in fired
+        assert any(v.startswith("L2:") for v in fired["tlb-audit"])
+
+    def test_l1_stays_clean_when_only_l2_is_corrupted(self):
+        """The detection must localise: no L1-attributed violations."""
+        memory = build_campaign_memory("SA+SA")
+        suite = DetectorSuite.standard(memory)
+        self.corrupt_one_l2_entry(
+            memory, lambda entry: setattr(entry, "ppn", entry.ppn ^ 0x40)
+        )
+        fired = suite.finish()
+        for name, violations in fired.items():
+            assert not any(
+                violation.startswith("L1:") for violation in violations
+            ), (name, violations)
+
+
+class TestInjectorReachesEveryLevel:
+    def test_injector_picks_entries_from_both_levels(self):
+        """Over many draws the injector's pool spans L1 and L2."""
+        memory = build_campaign_memory("SA+SA")
+        drive_workload(memory)
+        injector = SimFaultInjector(
+            memory=memory,
+            spec=FaultSpec(kind="bitflip-ppn"),
+            rng=random.Random(0),
+        )
+        owners = {id(owner) for owner, _, _ in injector._live_entries()}
+        assert owners == {id(level) for level in memory.tlb.levels}
+
+
+@pytest.mark.parametrize("design", ["SA+SA", "RF+SA"])
+def test_hierarchy_campaign_has_no_silent_faults(design):
+    """The full sim campaign run against a hierarchy design stays OK."""
+    from repro.faults.campaign import run_sim_campaign
+
+    report = run_sim_campaign(design=design)
+    assert report.ok, (report.silent_faults, report.baseline_violations)
+    assert report.name == f"sim/{design}"

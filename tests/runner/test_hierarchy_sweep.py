@@ -1,0 +1,76 @@
+"""The hierarchy-sweep experiment: units, execution, assembly, artifact.
+
+A reduced-trials end-to-end pass over the registered experiment -- the
+same units/run/assemble contract the parallel runner drives, without the
+worker processes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import get_experiment
+from repro.runner.results import write_artifacts
+
+OPTIONS = {"hierarchy_sweep_trials": 2, "hierarchy_sweep_rsa_runs": 2}
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    return get_experiment("hierarchy_sweep")
+
+
+@pytest.fixture(scope="module")
+def assembled(experiment):
+    units = experiment.units(OPTIONS)
+    values = [type(experiment).run(unit.params) for unit in units]
+    return experiment.assemble(values, OPTIONS)
+
+
+class TestUnits:
+    def test_cell_count_and_parts(self, experiment):
+        units = experiment.units(OPTIONS)
+        parts = {}
+        for unit in units:
+            part = unit.params["part"]
+            parts[part] = parts.get(part, 0) + 1
+        assert parts == {"security": 24 * 7, "perf": 24, "leakage": 1}
+
+    def test_specs_travel_as_plain_dicts(self, experiment):
+        import json
+
+        for unit in experiment.units(OPTIONS):
+            json.dumps(unit.params["spec"])
+
+    def test_trials_option_reaches_the_cells(self, experiment):
+        units = experiment.units(OPTIONS)
+        assert all(
+            unit.params["trials"] == 2
+            for unit in units
+            if unit.params["part"] == "security"
+        )
+
+
+class TestAssembly:
+    def test_every_design_gets_a_result(self, assembled):
+        designs = assembled["designs"]
+        assert len(designs) == 24
+        labels = {result.label for result in designs}
+        assert "SA+SA" in labels and "RF+RF+pwc" in labels
+        for result in designs:
+            assert len(result.estimates) == 7
+            assert result.perf is not None
+
+    def test_leakage_cell_is_threaded_through(self, assembled):
+        leakage = assembled["leakage"]
+        assert leakage["design"] == "RF+SA"
+        assert leakage["workload"] == "rsa"
+
+    def test_artifact_is_written(self, assembled, tmp_path):
+        written = write_artifacts(
+            {"hierarchy_sweep": assembled}, tmp_path, OPTIONS
+        )
+        assert "hierarchy_sweep.txt" in written
+        text = (tmp_path / "hierarchy_sweep.txt").read_text()
+        assert "hierarchy sweep" in text
+        assert "refill-leakage cross-check" in text

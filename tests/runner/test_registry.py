@@ -24,6 +24,9 @@ EXPECTED_COUNTS = {
     "table5": 1,
     "mitigations": 5 * 24,
     "hierarchy": 3 * 24,
+    # 24 designs x (7 strategy rows + 1 perf point) + the refill-leakage
+    # cross-check cell.
+    "hierarchy_sweep": 24 * 8 + 1,
     "largepages": 2 * 36,
     "sweeps": 3 + 6 + 4 + 5,
     "attacks": 6 * 3 + 3 + 1 + 3,

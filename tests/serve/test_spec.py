@@ -43,6 +43,10 @@ class TestParseSpec:
         spec = parse_spec({"experiment": "table4", "trials": 7})
         assert dict(spec.options)["table4_trials"] == 7
 
+    def test_hierarchy_sweep_trials_lower_onto_their_option(self):
+        spec = parse_spec({"experiment": "hierarchy_sweep", "trials": 3})
+        assert dict(spec.options)["hierarchy_sweep_trials"] == 3
+
     def test_trials_unsupported_experiment(self):
         detail = _reject({"experiment": "table2", "trials": 7})
         assert "no trials knob" in detail

@@ -68,7 +68,7 @@ def test_typed_sugar_covers_every_event_type() -> None:
         access(),
         WalkEvent(vpn=1, asid=1, cycles=30),
         FillEvent(vpn=1, asid=1),
-        EvictEvent(vpn=2, asid=1, level=0),
+        EvictEvent(vpn=2, asid=1, page_level=0),
         FlushEvent(scope="all"),
         ContextSwitchEvent(previous=1, asid=2, policy="keep", flushed=False),
     ]

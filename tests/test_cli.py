@@ -30,6 +30,8 @@ class TestParser:
             ["sweeps"],
             ["attack", "--designs", "SA"],
             ["covert", "--bits", "50"],
+            ["hierarchy-sweep", "--trials", "2"],
+            ["chaos", "sim", "--design", "RF+SA"],
         ],
     )
     def test_commands_parse(self, argv):
@@ -105,6 +107,23 @@ class TestExtensionCommands:
         assert main(["hierarchy", "--trials", "8"]) == 0
         out = capsys.readouterr().out
         assert "RF L1 + RF L2" in out
+
+    def test_hierarchy_sweep_command(self, capsys):
+        assert main(
+            ["hierarchy-sweep", "--trials", "2", "--rsa-runs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hierarchy sweep" in out
+        assert "RF+RF+pwc" in out
+        assert "refill-leakage cross-check" in out
+
+    def test_chaos_design_choices_include_hierarchies(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "sim", "--design", "XX+SA"])
+        args = build_parser().parse_args(
+            ["chaos", "sim", "--design", "SA+SA"]
+        )
+        assert args.design == "SA+SA"
 
     def test_largepages_command(self, capsys):
         assert main(["largepages", "--trials", "8"]) == 0

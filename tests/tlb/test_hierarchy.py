@@ -1,11 +1,15 @@
-"""Tests for the two-level TLB hierarchy."""
+"""Tests for the N-level TLB hierarchy and its declarative factory."""
 
 import random
 
 import pytest
 
 from repro.tlb import (
+    HierarchySpec,
     IdentityTranslator,
+    LevelSpec,
+    PWCSpec,
+    PageWalkCache,
     RandomFillTLB,
     SetAssociativeTLB,
     TLBConfig,
@@ -129,3 +133,176 @@ class TestSecureLevels:
             tlb.flush_all()
         # Only when the RFE randomly draws the requested page itself.
         assert cached_secret < 20
+
+
+class TestFactory:
+    """``make_hierarchy``: the spec-driven constructor."""
+
+    def test_builds_matching_kinds_and_geometry(self):
+        from repro.security.kinds import make_hierarchy
+        from repro.tlb import StaticPartitionTLB
+
+        spec = HierarchySpec.two_level("SP", "RF", L1, L2)
+        tlb = make_hierarchy(spec, victim_asid=1, rng=random.Random(3))
+        assert isinstance(tlb.levels[0], StaticPartitionTLB)
+        assert isinstance(tlb.levels[1], RandomFillTLB)
+        assert tlb.levels[0].config.entries == L1.entries
+        assert tlb.levels[1].config.entries == L2.entries
+        assert tlb.name == "SP+RF"
+
+    def test_victim_ways_override_reaches_the_live_level(self):
+        from repro.security.kinds import make_hierarchy
+
+        spec = HierarchySpec(
+            levels=(
+                LevelSpec.from_config("SP", L2, victim_ways=1),
+                LevelSpec.from_config("SA", L2),
+            )
+        )
+        tlb = make_hierarchy(spec, victim_asid=1)
+        assert tlb.levels[0].victim_ways == 1
+
+    def test_sp_defaults_to_even_split(self):
+        from repro.security.kinds import make_hierarchy
+
+        spec = HierarchySpec.two_level("SP", "SA", L2, L2)
+        tlb = make_hierarchy(spec, victim_asid=1)
+        assert tlb.levels[0].victim_ways == L2.ways // 2
+
+    def test_sec_bit_disabled_level_skips_secure_region(self):
+        from repro.security.kinds import make_hierarchy
+
+        spec = HierarchySpec(
+            levels=(
+                LevelSpec.from_config("RF", L1),
+                LevelSpec.from_config("RF", L2, sec_bit=False),
+            )
+        )
+        tlb = make_hierarchy(spec, victim_asid=1, rng=random.Random(5))
+        tlb.set_secure_region(0x100, 3, victim_asid=1)
+        assert tlb.levels[0].is_secure(0x101, 1)
+        assert not tlb.levels[1].is_secure(0x101, 1)
+
+
+class TestNLevel:
+    """The hierarchy is generic over depth, not hard-coded to two."""
+
+    L3 = TLBConfig(entries=64, ways=8, hit_latency=20)
+
+    def make_three_level(self):
+        from repro.security.kinds import make_hierarchy
+
+        spec = HierarchySpec(
+            levels=(
+                LevelSpec.from_config("SA", L1),
+                LevelSpec.from_config("SA", L2),
+                LevelSpec.from_config("SA", self.L3),
+            )
+        )
+        return make_hierarchy(spec)
+
+    def test_cold_miss_sums_all_hit_latencies(self):
+        tlb = self.make_three_level()
+        translator = IdentityTranslator(cycles=30)
+        cold = tlb.translate(5, 1, translator)
+        assert cold.miss and cold.cycles == 1 + 8 + 20 + 30
+
+    def test_walk_fills_every_level(self):
+        tlb = self.make_three_level()
+        tlb.translate(5, 1, IdentityTranslator())
+        for level in tlb.levels:
+            assert level.resident(5, 1)
+
+    def test_stats_is_the_innermost_level(self):
+        tlb = self.make_three_level()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        tlb.translate(5, 1, translator)
+        assert tlb.stats is tlb.levels[-1].stats
+        assert tlb.stats.misses == 1  # the true walk counter
+
+    def test_flush_asid_reaches_every_level(self):
+        tlb = self.make_three_level()
+        translator = IdentityTranslator()
+        tlb.translate(5, 1, translator)
+        tlb.translate(6, 2, translator)
+        tlb.flush_asid(1)
+        for level in tlb.levels:
+            assert not level.resident(5, 1)
+        assert tlb.resident(6, 2)
+
+    def test_invalidate_page_reaches_every_level(self):
+        tlb = self.make_three_level()
+        tlb.translate(5, 1, IdentityTranslator())
+        assert tlb.invalidate_page(5, 1).hit
+        for level in tlb.levels:
+            assert not level.resident(5, 1)
+
+
+class TestPageWalkCache:
+    def test_hit_rewrites_latency(self):
+        pwc = PageWalkCache(PWCSpec(entries=4, hit_latency=2))
+        from repro.tlb.base import WalkResult
+
+        pwc.insert(5, 1, WalkResult(ppn=50, cycles=30, level=0))
+        hit = pwc.lookup(5, 1)
+        assert hit is not None
+        assert (hit.ppn, hit.cycles) == (50, 2)
+        assert pwc.lookup(6, 1) is None
+        assert pwc.stats.hits == 1 and pwc.stats.misses == 1
+
+    def test_lru_eviction(self):
+        pwc = PageWalkCache(PWCSpec(entries=2))
+        from repro.tlb.base import WalkResult
+
+        for vpn in (1, 2):
+            pwc.insert(vpn, 1, WalkResult(ppn=vpn, cycles=30, level=0))
+        pwc.lookup(1, 1)  # 2 becomes the LRU entry
+        pwc.insert(3, 1, WalkResult(ppn=3, cycles=30, level=0))
+        assert pwc.lookup(2, 1) is None
+        assert pwc.lookup(1, 1) is not None
+        assert pwc.stats.evictions == 1
+
+    def test_maintenance(self):
+        pwc = PageWalkCache(PWCSpec(entries=4))
+        from repro.tlb.base import WalkResult
+
+        pwc.insert(5, 1, WalkResult(ppn=50, cycles=30, level=0))
+        pwc.insert(6, 2, WalkResult(ppn=60, cycles=30, level=0))
+        pwc.flush_asid(1)
+        assert pwc.lookup(5, 1) is None
+        assert pwc.lookup(6, 2) is not None
+        pwc.invalidate_page(6, 2)
+        assert pwc.occupancy() == 0
+
+    def test_hierarchy_serves_repeat_walks_from_the_pwc(self):
+        from repro.security.kinds import make_hierarchy
+
+        # A 1-entry L1 with no L2: the second access to 5 evicts nothing
+        # from the PWC, so its walk is served at PWC latency.
+        spec = HierarchySpec(
+            levels=(
+                LevelSpec(kind="SA", sets=1, ways=1, hit_latency=1),
+            ),
+            pwc=PWCSpec(entries=16, hit_latency=2),
+        )
+        tlb = make_hierarchy(spec)
+        translator = IdentityTranslator(cycles=30)
+        assert tlb.translate(5, 1, translator).cycles == 1 + 30
+        tlb.translate(6, 1, translator)  # evicts 5 from the only way
+        again = tlb.translate(5, 1, translator)
+        assert again.miss and again.cycles == 1 + 2
+        assert tlb.pwc.stats.hits == 1
+
+    def test_hierarchy_flushes_reach_the_pwc(self):
+        from repro.security.kinds import make_hierarchy
+
+        spec = HierarchySpec(
+            levels=(LevelSpec.from_config("SA", L1),),
+            pwc=PWCSpec(),
+        )
+        tlb = make_hierarchy(spec)
+        tlb.translate(5, 1, IdentityTranslator())
+        assert tlb.pwc.occupancy() == 1
+        tlb.flush_asid(1)
+        assert tlb.pwc.occupancy() == 0

@@ -286,3 +286,81 @@ def test_hierarchy_protected_l1_flushes_still_reach_the_l2() -> None:
 
     assert not tlb.l2.resident(0x201, VICTIM_ASID)
     assert not tlb.resident(0x201, VICTIM_ASID)
+
+
+# -- N-level propagation invariants ---------------------------------------------
+#
+# The maintenance contract generalises past two levels: every
+# ``invalidate_page`` / ``flush_asid`` / ``set_secure_region`` issued at
+# the hierarchy facade must reach every level (and the page-walk cache),
+# or a stale translation survives exactly where the paper's maintenance
+# analysis assumes it cannot.
+
+
+def build_deep_hierarchy():
+    """Three levels plus a PWC, RF innermost so secure regions matter."""
+    from repro.security.kinds import make_hierarchy
+    from repro.tlb import HierarchySpec, LevelSpec, PWCSpec
+
+    spec = HierarchySpec(
+        levels=(
+            LevelSpec(kind="SA", sets=2, ways=2),
+            LevelSpec(kind="SP", sets=4, ways=4, hit_latency=8),
+            LevelSpec(kind="RF", sets=8, ways=8, hit_latency=20),
+        ),
+        pwc=PWCSpec(entries=8),
+    )
+    return make_hierarchy(
+        spec, victim_asid=VICTIM_ASID, rng=random.Random(11)
+    )
+
+
+def test_deep_invalidate_page_reaches_every_level_and_the_pwc() -> None:
+    tlb = build_deep_hierarchy()
+    translator = IdentityTranslator()
+    tlb.translate(0x210, VICTIM_ASID, translator)
+    for level in tlb.levels:
+        assert level.resident(0x210, VICTIM_ASID)
+    assert tlb.pwc.occupancy() == 1
+
+    assert tlb.invalidate_page(0x210, VICTIM_ASID).hit
+
+    for level in tlb.levels:
+        assert not level.resident(0x210, VICTIM_ASID)
+    assert tlb.pwc.occupancy() == 0
+    assert tlb.invalidate_page(0x210, VICTIM_ASID).miss
+
+
+def test_deep_flush_asid_is_surgical_in_every_level() -> None:
+    tlb = build_deep_hierarchy()
+    translator = IdentityTranslator()
+    tlb.translate(0x210, VICTIM_ASID, translator)
+    tlb.translate(0x300, OTHER_ASID, translator)
+
+    tlb.flush_asid(VICTIM_ASID)
+
+    for level in tlb.levels:
+        assert not any(
+            entry.asid == VICTIM_ASID for entry in level.entries()
+        )
+    assert tlb.resident(0x300, OTHER_ASID)
+    assert tlb.pwc.occupancy() == 1  # the other ASID's walk survives
+
+
+def test_deep_flush_all_empties_every_level_and_the_pwc() -> None:
+    tlb = build_deep_hierarchy()
+    translator = IdentityTranslator()
+    tlb.translate(0x210, VICTIM_ASID, translator)
+    tlb.translate(0x300, OTHER_ASID, translator)
+
+    tlb.flush_all()
+
+    for level in tlb.levels:
+        assert level.occupancy() == 0
+    assert tlb.pwc.occupancy() == 0
+
+
+def test_deep_secure_region_reaches_every_rf_level() -> None:
+    tlb = build_deep_hierarchy()
+    tlb.set_secure_region(0x100, 8, victim_asid=VICTIM_ASID)
+    assert tlb.levels[2].is_secure(0x101, VICTIM_ASID)
