@@ -43,6 +43,15 @@ over Python ASTs:
     for inspection; assigning to them (or calling their mutators) is
     always a bug -- the live structure will not change.
 
+``certifiable-hierarchy``
+    Multi-level designs are never assembled from raw level lists:
+    ``make_hierarchy``/``TLBHierarchy`` take a declarative
+    :class:`repro.tlb.HierarchySpec`, and new specs are defined only in
+    the spec catalogs (``repro.tlb``, the ablations sweep,
+    the certify gate's flat designs).  Every hierarchy in the codebase
+    is therefore reachable by ``python -m repro certify`` -- certifiable
+    by construction.
+
 A finding can be waived on its own line with a trailing
 ``# invariant: allow <rule-name>`` comment.
 """
@@ -385,6 +394,64 @@ class NoSnapshotMutation(Rule):
                 )
 
 
+def _literal_levels_argument(node: ast.Call) -> bool:
+    """Does the call pass a raw list/tuple as its levels?"""
+    candidates: List[ast.expr] = []
+    if node.args:
+        candidates.append(node.args[0])
+    for keyword in node.keywords:
+        if keyword.arg == "levels":
+            candidates.append(keyword.value)
+    return any(
+        isinstance(candidate, (ast.List, ast.Tuple))
+        for candidate in candidates
+    )
+
+
+class CertifiableHierarchy(Rule):
+    name = "certifiable-hierarchy"
+    description = (
+        "hierarchies are never built from raw level lists: pass a"
+        " HierarchySpec to make_hierarchy, and define new specs only in"
+        " the declarative catalogs so every design stays certifiable by"
+        " `python -m repro certify`"
+    )
+    #: The spec type and the live constructor live in repro.tlb; the
+    #: sanctioned factory and the two spec catalogs (the sweep grid and
+    #: the gate's flat designs) may spell levels out.
+    allowed_prefixes = ("repro/tlb/",)
+    allowed_files = (
+        "repro/security/kinds.py",
+        "repro/ablations/hierarchy.py",
+        "repro/analysis/certify_gate.py",
+    )
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in ("TLBHierarchy", "make_hierarchy",
+                        "make_two_level_tlb") and _literal_levels_argument(
+                            node):
+                yield self.finding(
+                    node,
+                    relpath,
+                    f"{name}(...) built from a raw level list; pass a"
+                    " declarative HierarchySpec so the design is"
+                    " certifiable",
+                )
+            elif name == "HierarchySpec" and _literal_levels_argument(node):
+                yield self.finding(
+                    node,
+                    relpath,
+                    "inline HierarchySpec level list outside the spec"
+                    " catalogs; define the design in repro.tlb /"
+                    " repro.ablations so the certify CLI and the"
+                    " differential gate can enumerate it",
+                )
+
+
 #: Rule registry, in reporting order.
 LINT_RULES: Tuple[Rule, ...] = (
     FacadeTLBConstruction(),
@@ -393,6 +460,7 @@ LINT_RULES: Tuple[Rule, ...] = (
     SimIsolation(),
     FrozenEventDataclasses(),
     NoSnapshotMutation(),
+    CertifiableHierarchy(),
 )
 
 

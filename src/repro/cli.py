@@ -372,7 +372,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
-    from repro.perf.bench import CounterDivergence, bench, format_report
+    from repro.perf.bench import (
+        CounterDivergence,
+        bench,
+        format_report,
+        with_history,
+    )
 
     try:
         report = bench(
@@ -384,6 +389,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"COUNTER DIVERGENCE: {divergence}", file=sys.stderr)
         return 2
     if args.out:
+        # Carry the previous artifact's headline history forward so the
+        # trend survives the overwrite.
+        previous = None
+        try:
+            with open(args.out, encoding="utf-8") as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = None
+        report = with_history(report, previous)
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -720,9 +734,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.set_defaults(func=_cmd_chaos)
 
-    from repro.analysis.cli import add_analyze_parser
+    from repro.analysis.cli import add_analyze_parser, add_certify_parser
 
     add_analyze_parser(subparsers)
+    add_certify_parser(subparsers)
 
     return parser
 

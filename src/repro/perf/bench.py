@@ -302,6 +302,40 @@ def bench(
     }
 
 
+def history_entry(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact per-run record archived in the artifact's history.
+
+    ``BENCH_fastpath.json`` keeps a ``history`` list so the headline
+    trend survives overwrites: each ``--out`` write appends the new
+    run's summary to whatever history the previous artifact carried
+    (the committed first entry is the 3.69x full-size headline the
+    fast-path PR landed with).
+    """
+    headline = report["headline"]
+    return {
+        "geomean_speedup": headline["geomean_speedup"],
+        "per_design": dict(headline["per_design"]),
+        "meets_floor": headline["meets_floor"],
+        "quick": report["quick"],
+        "events": report["events"],
+        "counters_verified": report["counters_verified"],
+    }
+
+
+def with_history(
+    report: Dict[str, Any], previous: Optional[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """Attach ``previous``'s history plus this run's entry to ``report``."""
+    history: List[Dict[str, Any]] = []
+    if isinstance(previous, dict):
+        carried = previous.get("history", [])
+        if isinstance(carried, list):
+            history.extend(carried)
+    report = dict(report)
+    report["history"] = history + [history_entry(report)]
+    return report
+
+
 def format_report(report: Dict[str, Any]) -> str:
     """Render the bench report as the CLI's text output."""
     lines = [

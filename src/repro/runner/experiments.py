@@ -492,17 +492,36 @@ class HierarchySweepExperiment(Experiment):
                 bucket["estimates"][rows[unit.params["row"]]] = value
             else:
                 bucket["perf"] = value
+        designs = [
+            SweepDesignResult(
+                label=label,
+                spec=bucket["spec"],
+                estimates=bucket["estimates"],
+                perf=bucket["perf"],
+            )
+            for label, bucket in by_label.items()
+        ]
+        # Static/dynamic cross-certification: replay each design's static
+        # certificate against the estimates just measured.  ``certified``
+        # is True only when every measured row agrees with the certifier
+        # (at degenerate trial counts the dynamic side can't resolve the
+        # channels the certificates predict, and this honestly reads
+        # False).  Threaded into result envelopes and serve metrics.
+        from repro.analysis.certify import certify
+        from repro.analysis.certify_gate import certified_rows
+
+        certification = {}
+        for design in designs:
+            agreement = certified_rows(
+                certify(HierarchySpec.from_dict(design.spec)),
+                design.estimates,
+            )
+            certification[design.label] = all(agreement.values())
         return {
-            "designs": [
-                SweepDesignResult(
-                    label=label,
-                    spec=bucket["spec"],
-                    estimates=bucket["estimates"],
-                    perf=bucket["perf"],
-                )
-                for label, bucket in by_label.items()
-            ],
+            "designs": designs,
             "leakage": leakage,
+            "certified": all(certification.values()),
+            "certified_designs": certification,
         }
 
 

@@ -211,7 +211,7 @@ def _page_label(vpn: int) -> str:
     return f"page_{vpn:x}"
 
 
-def _prime_pages(
+def prime_pages(
     layout: BenchmarkLayout,
     state: State,
     ssize: int,
@@ -219,6 +219,10 @@ def _prime_pages(
     u_page: int,
 ) -> List[int]:
     """The pages a prime/evict step accesses, key page first.
+
+    Public because :mod:`repro.analysis.certify` executes the *same*
+    expansion symbolically; the static/dynamic differential gate depends
+    on both sides sharing this geometry.
 
     ``d`` steps use out-of-range pages in the tested set.  ``a``/alias
     steps access the key page first (making it the LRU victim once the set
@@ -301,7 +305,7 @@ def generate(
             layout,
             u_page,
             ssize,
-            role=_role_of(index, steps, miss_based),
+            role=role_of(index, steps, miss_based),
         )
     # Fixed cycles inside an invalidation-probe window: the first csrr's
     # own cycle + la + li + the fast (one-cycle) sfence = 4; a present
@@ -310,7 +314,7 @@ def generate(
     return emitter.render()
 
 
-def _role_of(index: int, steps, miss_based: bool) -> str:
+def role_of(index: int, steps, miss_based: bool) -> str:
     """Classify the step: prime (fill set), probe (re-check), or single."""
     if not miss_based:
         return "single"
@@ -346,7 +350,7 @@ def _emit_step(
         return
 
     if state.operation is Operation.INVALIDATE_TARGET:
-        vpn = _single_page(state, layout, u_page)
+        vpn = single_page(state, layout, u_page)
         # In-range pages belong to the victim's address space, so a targeted
         # invalidation of u/a/alias names the victim's entry regardless of
         # who triggers it (e.g. via mprotect-induced shootdown); a ``d``
@@ -365,11 +369,11 @@ def _emit_step(
 
     # Normal accesses.
     if state.address is AddressClass.U or role == "single":
-        emitter.access(pid, _single_page(state, layout, u_page))
+        emitter.access(pid, single_page(state, layout, u_page))
         return
 
     count = layout.prime_ways(state.actor)
-    pages = _prime_pages(layout, state, ssize, count, u_page)
+    pages = prime_pages(layout, state, ssize, count, u_page)
     if role == "probe" and state.address in (AddressClass.A, AddressClass.A_ALIAS):
         # The probe of an ``a`` pattern re-checks only the key page.
         pages = pages[:1]
@@ -377,7 +381,7 @@ def _emit_step(
         emitter.access(pid, vpn)
 
 
-def _single_page(state: State, layout: BenchmarkLayout, u_page: int) -> int:
+def single_page(state: State, layout: BenchmarkLayout, u_page: int) -> int:
     if state.address is AddressClass.U:
         return u_page
     if state.address is AddressClass.A:

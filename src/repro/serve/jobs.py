@@ -267,6 +267,11 @@ def result_document(
     must produce byte-identical documents, run now or next year.
     """
     complete = selected == full
+    certified = (
+        assembled.get("certified")
+        if complete and isinstance(assembled, Mapping)
+        else None
+    )
     return {
         "experiment": spec.experiment,
         "content_hash": content_hash,
@@ -274,6 +279,9 @@ def result_document(
         "options": to_jsonable(spec.options_dict),
         "filters": list(spec.filters),
         "cells": {"selected": selected, "full": full, "complete": complete},
+        # Static/dynamic cross-certification carried by the assembled
+        # result (None when the experiment makes no such claim).
+        "certified": certified,
         "result": to_jsonable(assembled if complete else values),
     }
 
@@ -665,6 +673,10 @@ class JobManager:
             job.result_sha256 = self.store.put(job.content_hash, payload)
             job.state = "done"
             self.metrics.jobs_completed += 1
+            if document.get("certified") is True:
+                self.metrics.results_certified += 1
+            elif document.get("certified") is False:
+                self.metrics.results_uncertified += 1
             log.emit(
                 "job_end",
                 job=job.id,

@@ -37,6 +37,10 @@ class ServiceMetrics:
     cells_run: int = 0
     cells_cached: int = 0
     cells_failed: int = 0
+    #: Completed results whose assembled payload carried a static/dynamic
+    #: cross-certification verdict (see repro.analysis.certify).
+    results_certified: int = 0
+    results_uncertified: int = 0
 
     started_at: float = field(default_factory=time.time)
     _gauges: Dict[str, Callable[[], Any]] = field(default_factory=dict)
@@ -58,6 +62,8 @@ class ServiceMetrics:
             "cells_run": self.cells_run,
             "cells_cached": self.cells_cached,
             "cells_failed": self.cells_failed,
+            "results_certified": self.results_certified,
+            "results_uncertified": self.results_uncertified,
         }
         gauges = {name: read() for name, read in sorted(self._gauges.items())}
         return {

@@ -146,6 +146,61 @@ class TestRefillLeakage:
         assert clean["correlated_refill_pages"] == []
 
 
+def _leakage_variant(l1_kind, l2_kind, pwc=False):
+    """The cross-check shape (tiny protected L1, big L2) with kinds swapped."""
+    from repro.ablations import leakage_spec
+    from repro.tlb import HierarchySpec, LevelSpec, PWCSpec
+
+    base = leakage_spec()
+    tiny, big = base.levels
+    levels = (
+        LevelSpec.from_dict({**tiny.to_dict(), "kind": l1_kind}),
+        LevelSpec.from_dict(
+            {
+                **big.to_dict(),
+                "kind": l2_kind,
+                "victim_ways": big.ways // 2 if l2_kind == "SP" else None,
+            }
+        ),
+    )
+    return HierarchySpec(levels=levels, pwc=PWCSpec() if pwc else None)
+
+
+class TestRefillLeakageAcrossDesigns:
+    """The refill channel is a property of inter-level movement, not of the
+    specific RF+SA design: any tiny-L1/shared-L2 hierarchy round-trips the
+    victim's working set through the L2, and the TaintObserver sees the
+    secret in the refill stream regardless of the level kinds or a PWC."""
+
+    VARIANTS = {
+        "RF+SP": ("RF", "SP", False),
+        "SA+RF": ("SA", "RF", False),
+        "RF+SA+pwc": ("RF", "SA", True),
+    }
+
+    @pytest.mark.parametrize("label", sorted(VARIANTS))
+    def test_rsa_refills_correlate_with_secret(self, label):
+        from repro.ablations import refill_leakage
+
+        spec = _leakage_variant(*self.VARIANTS[label])
+        assert spec.label() == label
+        leaky = refill_leakage(spec)
+        # Same two secret-correlated pages as the RF+SA baseline: the
+        # square page (0x500) and the multiply page (0x502).
+        assert sorted(leaky["correlated_refill_pages"]) == [0x500, 0x502]
+        assert max(leaky["refills"]) > min(leaky["refills"])
+
+    @pytest.mark.parametrize("label", sorted(VARIANTS))
+    def test_constant_time_workload_is_flat_everywhere(self, label):
+        from repro.ablations import refill_leakage
+
+        spec = _leakage_variant(*self.VARIANTS[label])
+        clean = refill_leakage(spec, workload_name="rsa-ct")
+        assert clean["correlated_refill_pages"] == []
+        assert clean["correlated_access_pages"] == []
+        assert len(set(clean["refills"])) == 1
+
+
 class TestSweepFormatting:
     def test_matrix_and_leakage_footer(self):
         from repro.ablations import (

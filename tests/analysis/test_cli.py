@@ -71,6 +71,9 @@ class TestGuestMode:
     def test_json_payload_is_machine_readable(self, capsys):
         assert main(["analyze", "guest", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro/analyze/v1"
+        assert payload["mode"] == "guest"
+        assert payload["ok"] and payload["exit_code"] == 0
         by_name = {entry["workload"]: entry for entry in payload["guest"]}
         assert by_name["rsa"]["ok"] and by_name["rsa"]["expect_leak"]
         assert by_name["rsa-ct"]["ok"] and not by_name["rsa-ct"]["findings"]
@@ -91,21 +94,26 @@ class TestLintMode:
             "deterministic-sim",
             "frozen-event-dataclasses",
             "no-snapshot-mutation",
+            "certifiable-hierarchy",
         ):
             assert name in out
 
-    def test_violations_fail_the_gate(self, tmp_path, capsys):
+    def test_violations_exit_with_the_lint_code(self, tmp_path, capsys):
+        from repro.analysis.cli import EXIT_LINT_FINDINGS
+
         bad = tmp_path / "bad.py"
         bad.write_text("import time\nt = time.time()\n")
-        assert main(["analyze", "lint", str(bad)]) == 1
+        assert main(["analyze", "lint", str(bad)]) == EXIT_LINT_FINDINGS
         out = capsys.readouterr().out
         assert "deterministic-sim" in out
 
     def test_json_reports_checked_files(self, capsys):
         assert main(["analyze", "lint", PACKAGE_ROOT, "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["findings"] == []
-        assert payload["checked_files"] > 50
+        assert payload["schema"] == "repro/analyze/v1"
+        assert payload["mode"] == "lint"
+        assert payload["lint"]["findings"] == []
+        assert payload["lint"]["checked_files"] > 50
 
 
 class TestAllMode:
@@ -114,3 +122,94 @@ class TestAllMode:
         out = capsys.readouterr().out
         assert "analyze: OK" in out
         assert "0 lint findings" in out
+
+
+class TestExitCodes:
+    """The distinct failure codes CI dispatches on (docs/analysis.md)."""
+
+    def test_codes_are_distinct_and_documented(self):
+        from repro.analysis.cli import (
+            EXIT_BOTH,
+            EXIT_CONTRACT_VIOLATION,
+            EXIT_LINT_FINDINGS,
+        )
+
+        assert (EXIT_CONTRACT_VIOLATION, EXIT_LINT_FINDINGS, EXIT_BOTH) == (
+            2, 3, 4,
+        )
+
+    def test_all_mode_reports_lint_code_on_lint_only_failure(
+        self, tmp_path, capsys
+    ):
+        from repro.analysis.cli import EXIT_LINT_FINDINGS
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        code = main(
+            ["analyze", "all", str(bad), "--static-only", "--json"]
+        )
+        assert code == EXIT_LINT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "all"
+        assert not payload["ok"]
+        assert payload["exit_code"] == EXIT_LINT_FINDINGS
+        assert payload["lint"]["findings"]
+        assert all(entry["ok"] for entry in payload["guest"])
+
+    def test_all_mode_text_summary_names_the_exit_code(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["analyze", "all", str(bad), "--static-only"]) == 3
+        assert "exit 3" in capsys.readouterr().out
+
+
+class TestCertifyCLI:
+    def test_sweep_label_renders_a_certificate(self, capsys):
+        assert main(["certify", "RF+SA"]) == 0
+        out = capsys.readouterr().out
+        assert "static security certificate: RF+SA" in out
+        assert "defended: 14/24" in out
+
+    def test_json_certificate_is_schema_stamped(self, capsys):
+        assert main(["certify", "RF+SP", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro/certificate/v1"
+        assert payload["design"] == "RF+SP"
+        assert len(payload["verdicts"]) == 24
+
+    def test_multiple_targets_emit_a_list(self, capsys):
+        assert main(["certify", "SA+SA", "RF+RF", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["design"] for entry in payload] == ["SA+SA", "RF+RF"]
+
+    def test_spec_file_target(self, tmp_path, capsys):
+        from repro.analysis.certify_gate import flat_spec
+
+        path = tmp_path / "design.json"
+        path.write_text(json.dumps(flat_spec("RF").to_dict()))
+        assert main(["certify", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "RF"
+        assert payload["defended"] == 24
+
+    def test_unknown_label_lists_the_catalog(self):
+        with pytest.raises(SystemExit, match="known labels"):
+            main(["certify", "XX+YY"])
+
+    def test_no_target_is_an_error(self):
+        with pytest.raises(SystemExit, match="--all / --gate"):
+            main(["certify"])
+
+    def test_gate_refill_leg_exits_zero(self, capsys):
+        assert main(["certify", "--gate", "--legs", "refill"]) == 0
+        assert "gate PASSED" in capsys.readouterr().out
+
+    def test_gate_json_report(self, capsys):
+        assert main(
+            ["certify", "--gate", "--legs", "refill", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro/certify-gate/v1"
+        assert payload["passed"] is True

@@ -176,6 +176,46 @@ class TestNoSnapshotMutation:
         assert rules_hit("snapshot = tlb.entries()\n") == []
 
 
+class TestCertifiableHierarchy:
+    """Hierarchies come from declarative specs, never raw level lists,
+    so `python -m repro certify` can reach every design."""
+
+    def test_literal_level_list_to_the_factory_is_flagged(self):
+        source = "tlb = make_hierarchy([l1, l2])\n"
+        assert rules_hit(source) == ["certifiable-hierarchy"]
+        assert rules_hit("tlb = make_hierarchy(levels=[l1, l2])\n") == [
+            "certifiable-hierarchy"
+        ]
+
+    def test_literal_level_list_to_the_constructor_is_flagged(self):
+        # Flagged even where facade construction itself is sanctioned.
+        source = "tlb = TLBHierarchy([l1, l2])\n"
+        assert "certifiable-hierarchy" in rules_hit(source)
+        assert rules_hit(source, path="repro/tlb/other.py") == []
+
+    def test_inline_spec_outside_the_catalogs_is_flagged(self):
+        source = "spec = HierarchySpec(levels=(l1, l2))\n"
+        assert rules_hit(source) == ["certifiable-hierarchy"]
+
+    def test_spec_passing_is_fine(self):
+        assert rules_hit("tlb = make_hierarchy(spec)\n") == []
+        assert rules_hit(
+            "spec = HierarchySpec.from_dict(payload)\n"
+        ) == []
+        assert rules_hit(
+            "spec = HierarchySpec(levels=levels)\n"
+        ) == []
+
+    def test_the_spec_catalogs_are_allowed(self):
+        source = "spec = HierarchySpec(levels=(l1, l2))\n"
+        for path in (
+            "repro/tlb/spec.py",
+            "repro/ablations/hierarchy.py",
+            "repro/analysis/certify_gate.py",
+        ):
+            assert rules_hit(source, path=path) == [], path
+
+
 class TestWaivers:
     def test_a_matching_waiver_suppresses_the_finding(self):
         source = (
@@ -201,6 +241,7 @@ class TestRunLint:
             "sim-isolation",
             "frozen-event-dataclasses",
             "no-snapshot-mutation",
+            "certifiable-hierarchy",
         ]
 
     def test_the_shipped_tree_is_clean(self):

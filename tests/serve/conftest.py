@@ -31,7 +31,12 @@ _RUN_LOCK = threading.Lock()
 #: Spec option keys the toy experiment understands; passed to the app as
 #: ``extra_option_keys`` so validation admits them.
 TOY_OPTION_KEYS = frozenset(
-    {"serve_toy_values", "serve_toy_delay", "serve_toy_fail"}
+    {
+        "serve_toy_values",
+        "serve_toy_delay",
+        "serve_toy_fail",
+        "serve_toy_certified",
+    }
 )
 
 
@@ -62,7 +67,12 @@ class ServeToyExperiment(Experiment):
         return params["value"] ** 2
 
     def assemble(self, values, options):
-        return {"squares": list(values)}
+        assembled = {"squares": list(values)}
+        if "serve_toy_certified" in options:
+            # Mimic a certifying experiment (e.g. hierarchy_sweep): the
+            # assembled payload carries a static/dynamic agreement flag.
+            assembled["certified"] = bool(options["serve_toy_certified"])
+        return assembled
 
 
 @pytest.fixture

@@ -220,6 +220,33 @@ def test_metrics_and_health_reflect_the_run(serve_harness):
     assert metrics["result_store"]["hits"] >= 1
 
 
+def test_certification_verdict_is_served_and_counted(serve_harness):
+    harness = serve_harness()
+
+    # A non-certifying result: the document says None, no counter moves.
+    _s, _h, plain = harness.request_json("POST", "/v1/jobs", _toy_spec())
+    doc = harness.poll_job(plain["status_url"])
+    _s, _h, document = harness.request_json("GET", doc["result_url"])
+    assert document["certified"] is None
+
+    # A certifying payload threads its verdict through to the document.
+    def submit(values, certified):
+        spec = _toy_spec(values=values)
+        spec["options"]["serve_toy_certified"] = certified
+        _s, _h, body = harness.request_json("POST", "/v1/jobs", spec)
+        done = harness.poll_job(body["status_url"])
+        _s, _h, served = harness.request_json("GET", done["result_url"])
+        return served
+
+    assert submit((4, 5), certified=True)["certified"] is True
+    assert submit((6, 7), certified=False)["certified"] is False
+
+    _s, _h, metrics = harness.request_json("GET", "/v1/metrics")
+    counters = metrics["counters"]
+    assert counters["results_certified"] == 1
+    assert counters["results_uncertified"] == 1
+
+
 def test_cell_cache_accelerates_overlapping_specs(serve_harness):
     harness = serve_harness()
     _s, _h, one = harness.request_json(
