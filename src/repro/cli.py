@@ -304,6 +304,8 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         progress=not args.quiet,
         max_retries=args.max_retries,
         task_timeout=args.task_timeout,
+        executor=args.executor,
+        workers=args.workers,
     )
     print(
         f"{report.completed}/{report.units_total} cells ok"
@@ -314,6 +316,18 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         + f" · retries {report.retries}"
         f" · worker crashes {report.worker_crashes}"
     )
+    if report.executor == "work-stealing":
+        print(
+            f"work-stealing: {report.cells_stolen} cells stolen"
+            f" · {report.leases_reclaimed} leases reclaimed"
+            f" · {report.duplicate_completions} duplicate completions"
+            f" · {report.fallback_cells} fallback cells"
+            f" · {report.quarantined} quarantined"
+            + (
+                f" · {report.torn_journals} torn journals"
+                if report.torn_journals else ""
+            )
+        )
     if report.artifacts:
         print(f"artifacts: {', '.join(report.artifacts)}")
     if report.failed:
@@ -325,6 +339,21 @@ def _cmd_run_all(args: argparse.Namespace) -> int:
         )
         return 130
     return 0 if report.ok else 1
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.runner.distributed import worker_loop
+
+    completed = worker_loop(
+        args.cache_dir,
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        idle_exit=(None if args.idle_exit <= 0 else args.idle_exit),
+        quiet=args.quiet,
+    )
+    # A worker that found no board (or no work) is not an error: workers
+    # are launched speculatively on any host that mounts the cache.
+    return 0 if completed >= 0 else 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -340,6 +369,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         dispatchers=args.dispatchers,
         quota_rate=args.quota_rate,
         quota_burst=args.quota_burst,
+        drain_timeout=args.drain_timeout,
         quiet=args.quiet,
     )
     return app.run()
@@ -354,7 +384,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     def run(workdir: Path) -> int:
         reports = run_campaigns(
-            args.campaign, workdir, seed=args.seed, design=args.design
+            args.campaign, workdir, seed=args.seed, design=args.design,
+            workers=args.workers,
         )
         if args.json:
             payload = [report.to_dict() for report in reports]
@@ -584,6 +615,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run_all.add_argument(
+        "--executor", choices=["pool", "work-stealing"], default="pool",
+        help=(
+            "execution backend: the per-host multiprocessing pool, or the"
+            " lease-based multi-host work-stealing executor coordinating"
+            " through the shared cache directory (default: pool)"
+        ),
+    )
+    run_all.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help=(
+            "local stealing workers to spawn with --executor work-stealing"
+            " (default: 2); remote hosts join with"
+            " 'python -m repro worker <cache-dir>'"
+        ),
+    )
+    run_all.add_argument(
         "--no-fastpath", action="store_true",
         help=(
             "drive the Figure 7 cells through the reference model instead"
@@ -595,6 +642,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress progress output"
     )
     run_all.set_defaults(func=_cmd_run_all)
+
+    worker = subparsers.add_parser(
+        "worker",
+        help="join a work-stealing run as an independent worker",
+        description=(
+            "Steal cells from the lease board inside a shared cache"
+            " directory: claim cells through atomic lease files, renew"
+            " heartbeats while computing, publish sealed results, and"
+            " reclaim stale leases from crashed peers.  Run this on any"
+            " host that mounts the same cache directory as a"
+            " 'run-all --executor work-stealing' parent."
+        ),
+    )
+    worker.add_argument(
+        "cache_dir",
+        help="the shared cache directory holding the lease board",
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="stable worker identity (default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.5, metavar="SECONDS",
+        help="how often to re-scan an idle board (default: 0.5)",
+    )
+    worker.add_argument(
+        "--idle-exit", type=float, default=30.0, metavar="SECONDS",
+        help=(
+            "exit after this long with no claimable work; <= 0 waits"
+            " forever (default: 30)"
+        ),
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress worker log lines"
+    )
+    worker.set_defaults(func=_cmd_worker)
 
     serve = subparsers.add_parser(
         "serve",
@@ -650,6 +733,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-client burst allowance (default: 10)",
     )
     serve.add_argument(
+        "--drain-timeout", type=float, default=20.0, metavar="SECONDS",
+        help=(
+            "on SIGTERM, stop accepting and give in-flight jobs this long"
+            " to finish; whatever remains stays journaled and resumes on"
+            " the next start (default: 20)"
+        ),
+    )
+    serve.add_argument(
         "--quiet", action="store_true", help="suppress server log lines"
     )
     serve.set_defaults(func=_cmd_serve)
@@ -698,12 +789,16 @@ def build_parser() -> argparse.ArgumentParser:
             " dropped flushes, walk jitter, spurious evictions) and the"
             " runner (hung/crashing/lying workers, torn cache entries,"
             " poison cells), then verify each is caught by a detector or"
-            " recovered by the hardening machinery.  Exits nonzero on any"
-            " silent fault."
+            " recovered by the hardening machinery.  The executor campaign"
+            " attacks the work-stealing lease protocol itself: SIGKILLed"
+            " workers, frozen heartbeats, duplicate and stale leases, torn"
+            " journal tails, tampered results, cross-host poison cells --"
+            " each must be masked (byte-identical artifacts) or detected"
+            " and quarantined.  Exits nonzero on any silent fault."
         ),
     )
     chaos.add_argument(
-        "campaign", choices=["sim", "runner", "all"],
+        "campaign", choices=["sim", "runner", "executor", "all"],
         help="which layer's campaign to run",
     )
     chaos.add_argument("--seed", type=int, default=2019)
@@ -731,6 +826,10 @@ def build_parser() -> argparse.ArgumentParser:
             "where the runner campaign keeps its scratch results/caches"
             " (default: a temporary directory)"
         ),
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="executor-campaign worker topology (default: 2)",
     )
     chaos.set_defaults(func=_cmd_chaos)
 

@@ -14,7 +14,10 @@ layers, and requires every attack to be *caught*:
   efficacy) that must flag each injected fault;
 * :mod:`repro.faults.chaos` -- deterministic runner-layer misbehaviour
   (hang / crash / corrupt result / poison cells) for the scheduler's
-  watchdog, integrity-envelope and quarantine hardening;
+  watchdog, integrity-envelope and quarantine hardening, plus the
+  executor-layer :class:`ExecutorChaosConfig` (SIGKILLs, frozen
+  heartbeats, duplicate/stale leases, torn journals, tampered results)
+  for the work-stealing lease protocol;
 * :mod:`repro.faults.campaign` -- the campaigns behind
   ``python -m repro chaos``, producing the detection matrix that fails
   CI on any silent fault.
@@ -28,10 +31,17 @@ from .campaign import (
     drive_workload,
     ensure_probe_experiment,
     run_campaigns,
+    run_executor_campaign,
     run_runner_campaign,
     run_sim_campaign,
 )
-from .chaos import WORKER_FAULT_MODES, ChaosConfig, default_chaos
+from .chaos import (
+    EXECUTOR_FAULT_MODES,
+    WORKER_FAULT_MODES,
+    ChaosConfig,
+    ExecutorChaosConfig,
+    default_chaos,
+)
 from .detectors import (
     Detector,
     DetectorSuite,
@@ -44,11 +54,13 @@ from .detectors import (
 )
 from .injector import InjectedFault, SimFaultInjector
 from .plan import (
+    EXECUTOR_FAULT_KINDS,
     FAULT_KINDS,
     RUNNER_FAULT_KINDS,
     SIM_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
+    default_executor_plan,
     default_runner_plan,
     default_sim_plan,
 )
@@ -59,6 +71,9 @@ __all__ = [
     "ChaosConfig",
     "Detector",
     "DetectorSuite",
+    "EXECUTOR_FAULT_KINDS",
+    "EXECUTOR_FAULT_MODES",
+    "ExecutorChaosConfig",
     "FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
@@ -76,11 +91,13 @@ __all__ = [
     "WalkTimingDetector",
     "build_campaign_memory",
     "default_chaos",
+    "default_executor_plan",
     "default_runner_plan",
     "default_sim_plan",
     "drive_workload",
     "ensure_probe_experiment",
     "run_campaigns",
+    "run_executor_campaign",
     "run_runner_campaign",
     "run_sim_campaign",
 ]

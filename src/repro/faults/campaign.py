@@ -33,9 +33,11 @@ from repro.sim.system import MemorySystem
 from .detectors import DetectorSuite
 from .injector import SimFaultInjector
 from .plan import (
+    EXECUTOR_FAULT_KINDS,
     RUNNER_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
+    default_executor_plan,
     default_runner_plan,
     default_sim_plan,
 )
@@ -424,16 +426,214 @@ def run_runner_campaign(
     return report
 
 
+# -- the executor-layer campaign ----------------------------------------------
+
+
+def run_executor_campaign(
+    workdir: Path | str,
+    plan: Optional[FaultPlan] = None,
+    seed: int = 2019,
+    cells: int = 6,
+    workers: int = 2,
+) -> CampaignReport:
+    """Aim each lease-protocol fault at the work-stealing executor.
+
+    Every fault mode gets a fresh board (its own cache directory) and a
+    ``workers``-strong local topology running the probe cells through the
+    real ``run_all`` stack with ``executor="work-stealing"``.  The
+    zero-silent-fault contract: each injected fault must be *masked* --
+    the affected cells re-executed and the merged artifacts byte-identical
+    to a clean local-pool run -- or *detected and quarantined* (the
+    cross-host poison cell, with its full attempt history in
+    ``failed_cells.json``).  Never a corrupt or missing result.
+    """
+    import json
+
+    from repro.faults.chaos import ExecutorChaosConfig
+    from repro.runner.api import run_all
+
+    plan = plan if plan is not None else default_executor_plan(seed)
+    kinds = [
+        spec.kind for spec in plan.specs if spec.kind in EXECUTOR_FAULT_KINDS
+    ]
+    workdir = Path(workdir)
+    report = CampaignReport(name="executor", seed=plan.seed)
+    ensure_probe_experiment()
+
+    common: Dict[str, Any] = dict(
+        filters=[f"{PROBE_EXPERIMENT}/*"],
+        options={"chaos_probe_cells": cells},
+        progress=False,
+    )
+    #: Tight protocol timings so every recovery path fires within seconds;
+    #: freeze/stale holds must exceed the lease TTL to go stale mid-run.
+    protocol: Dict[str, Any] = dict(
+        lease_ttl=1.0,
+        heartbeat_interval=0.25,
+        poll_interval=0.05,
+        fallback_after=120.0,
+        drain_timeout=180.0,
+        worker_kill_threshold=3,
+    )
+
+    # Clean reference run through the *local pool*: the acceptance bar is
+    # that every chaotic work-stealing run converges to these exact bytes.
+    clean_dir = workdir / "clean"
+    clean_report = run_all(
+        jobs=2, results_dir=clean_dir, cache_dir=workdir / "clean-cache",
+        **common,
+    )
+    if not clean_report.ok:
+        report.baseline_violations.append(
+            f"clean run failed: {clean_report.failed}"
+        )
+    reference = _artifact_bytes(clean_dir)
+    if not reference:
+        report.baseline_violations.append("clean run produced no artifacts")
+
+    # Fault-free work-stealing baseline: the protocol itself must add no
+    # retries, reclaims, or divergence before any fault is injected.
+    steal_dir = workdir / "steal-clean"
+    steal_report = run_all(
+        results_dir=steal_dir,
+        cache_dir=workdir / "steal-clean-cache",
+        executor="work-stealing",
+        workers=workers,
+        executor_options=dict(protocol),
+        **common,
+    )
+    if not steal_report.ok:
+        report.baseline_violations.append(
+            f"fault-free work-stealing run failed: {steal_report.failed}"
+        )
+    elif _artifact_bytes(steal_dir) != reference:
+        report.baseline_violations.append(
+            "fault-free work-stealing artifacts diverge from the local pool"
+        )
+
+    #: fault kind -> (hardening mechanism, RunReport counter).
+    mode_map = {
+        "worker-sigkill": ("lease-reclaim", "leases_reclaimed"),
+        "heartbeat-freeze": ("lease-reclaim", "leases_reclaimed"),
+        "duplicate-lease": ("duplicate-detect", "duplicate_completions"),
+        "stale-lease": ("lease-reclaim", "leases_reclaimed"),
+        "torn-journal": ("torn-tail-reader", "torn_journals"),
+        "result-tamper": ("integrity-envelope", "corrupt_results"),
+    }
+    for kind in kinds:
+        results_dir = workdir / kind
+        cache_dir = workdir / f"{kind}-cache"
+        detected: List[str] = []
+        evidence: List[str] = []
+        injections = 0
+
+        if kind == "cross-host-poison":
+            poisoned = f"{PROBE_EXPERIMENT}/cell-00"
+            chaos = ExecutorChaosConfig(
+                seed=plan.seed, modes=(), rate=0.0, poison_idents=(poisoned,)
+            )
+            injections = 1
+            evidence.append(f"poisoned {poisoned} on every worker")
+            outcome = run_all(
+                results_dir=results_dir,
+                cache_dir=cache_dir,
+                executor="work-stealing",
+                workers=workers,
+                executor_options=dict(protocol),
+                executor_chaos=chaos,
+                **common,
+            )
+            manifest_path = results_dir / "failed_cells.json"
+            quarantined = (
+                not outcome.ok
+                and poisoned in outcome.failed
+                and outcome.completed == cells - 1
+                and manifest_path.is_file()
+            )
+            if quarantined:
+                detected.append("quarantine")
+                manifest = json.loads(manifest_path.read_text())
+                history = next(
+                    (
+                        entry.get("history", [])
+                        for entry in manifest.get("failed", [])
+                        if entry.get("ident") == poisoned
+                    ),
+                    [],
+                )
+                attempt_workers = {
+                    str(record.get("worker"))
+                    for record in history
+                    if record.get("worker")
+                }
+                if history and attempt_workers:
+                    detected.append("attempt-history")
+                    evidence.append(
+                        f"{len(history)} attempts across"
+                        f" {len(attempt_workers)} workers in the manifest"
+                    )
+        else:
+            mechanism, counter = mode_map[kind]
+            chaos = ExecutorChaosConfig(
+                seed=plan.seed,
+                modes=(kind,),
+                rate=1.0,
+                max_attempt=1,
+                freeze_seconds=2.5,
+            )
+            outcome = run_all(
+                results_dir=results_dir,
+                cache_dir=cache_dir,
+                executor="work-stealing",
+                workers=workers,
+                executor_options=dict(protocol),
+                executor_chaos=chaos,
+                **common,
+            )
+            injections = cells  # rate=1.0 targets every first attempt
+            engaged = getattr(outcome, counter)
+            if engaged:
+                detected.append(mechanism)
+                evidence.append(f"{counter}={engaged}")
+            if kind == "worker-sigkill" and outcome.worker_crashes:
+                detected.append("worker-respawn")
+                evidence.append(f"worker_crashes={outcome.worker_crashes}")
+            if outcome.ok and _artifact_bytes(results_dir) == reference:
+                detected.append("artifact-match")
+            elif not outcome.ok:
+                evidence.append(f"run not ok: failed={outcome.failed}")
+            elif _artifact_bytes(results_dir) != reference:
+                evidence.append("artifacts diverge from the local pool")
+
+        report.rows.append(
+            CampaignRow(
+                kind=kind,
+                layer="executor",
+                injections=injections,
+                detected_by=tuple(detected),
+                evidence=evidence,
+            )
+        )
+    return report
+
+
 def run_campaigns(
     which: str,
     workdir: Path | str,
     seed: int = 2019,
     design: str = "SA",
+    workers: int = 2,
 ) -> List[CampaignReport]:
-    """The CLI's entry: ``sim``, ``runner`` or ``all`` campaigns."""
+    """The CLI's entry: ``sim``, ``runner``, ``executor`` or ``all``."""
     reports: List[CampaignReport] = []
     if which in ("sim", "all"):
         reports.append(run_sim_campaign(design=design, seed=seed))
     if which in ("runner", "all"):
         reports.append(run_runner_campaign(Path(workdir), seed=seed))
+    if which in ("executor", "all"):
+        reports.append(
+            run_executor_campaign(
+                Path(workdir) / "executor", seed=seed, workers=workers
+            )
+        )
     return reports

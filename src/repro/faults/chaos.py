@@ -95,4 +95,98 @@ def default_chaos(seed: int = 2019, **overrides: Any) -> ChaosConfig:
     return ChaosConfig.from_dict(payload)
 
 
-__all__ = ["WORKER_FAULT_MODES", "ChaosConfig", "default_chaos"]
+#: Executor-layer fault modes the work-stealing worker loop implements.
+#: Each attacks one clause of the lease protocol (see docs/robustness.md).
+EXECUTOR_FAULT_MODES: Tuple[str, ...] = (
+    # Die by SIGKILL mid-cell: after claiming a lease, before any result.
+    "worker-sigkill",
+    # Keep running the cell but stop renewing the lease heartbeat, then
+    # abandon the cell without a result -- the reclaimer's main case.
+    "heartbeat-freeze",
+    # Ignore an existing valid lease and run the cell anyway (two workers
+    # on one cell); determinism must make the duplicate harmless.
+    "duplicate-lease",
+    # Claim with an already-expired heartbeat timestamp, so the lease is
+    # reclaimed while its owner still runs.
+    "stale-lease",
+    # Tear the worker's own journal tail mid-record (a kill during a
+    # write); the torn-tail-tolerant readers must absorb it.
+    "torn-journal",
+    # Flip a byte in the result payload after sealing; the envelope
+    # digest must reject it.
+    "result-tamper",
+)
+
+
+@dataclass(frozen=True)
+class ExecutorChaosConfig:
+    """When and how work-stealing workers misbehave (deterministically).
+
+    Same decision function as :class:`ChaosConfig`: each targeted
+    ``(ident, attempt)`` draws one of ``modes`` by CRC32, so a chaotic
+    distributed run replays identically on every host that shares the
+    seed.  ``poison_idents`` lists cells that raise on *every* attempt on
+    every worker -- the cross-host quarantine case.
+    """
+
+    seed: int = 2019
+    modes: Tuple[str, ...] = EXECUTOR_FAULT_MODES
+    rate: float = 0.5
+    max_attempt: int = 1
+    #: How long a frozen worker holds its cell before abandoning it;
+    #: must exceed the board's lease TTL so the lease goes stale.
+    freeze_seconds: float = 2.0
+    poison_idents: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for mode in self.modes:
+            if mode not in EXECUTOR_FAULT_MODES:
+                raise ValueError(
+                    f"unknown executor fault mode {mode!r};"
+                    f" known: {EXECUTOR_FAULT_MODES}"
+                )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be within [0, 1]")
+
+    def fault_for(self, ident: str, attempt: int) -> Optional[str]:
+        """The fault mode for this cell attempt, or ``None`` for honesty."""
+        if ident in self.poison_idents:
+            return "poison"
+        if not self.modes or attempt > self.max_attempt:
+            return None
+        digest = zlib.crc32(f"{self.seed}/{ident}/{attempt}".encode())
+        if (digest % 10_000) / 10_000.0 >= self.rate:
+            return None
+        return self.modes[(digest >> 16) % len(self.modes)]
+
+    # -- serialization (for logs, worker argv, and the chaos CLI) ----------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "modes": list(self.modes),
+            "rate": self.rate,
+            "max_attempt": self.max_attempt,
+            "freeze_seconds": self.freeze_seconds,
+            "poison_idents": list(self.poison_idents),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExecutorChaosConfig":
+        return cls(
+            seed=int(payload.get("seed", 2019)),
+            modes=tuple(payload.get("modes", EXECUTOR_FAULT_MODES)),
+            rate=float(payload.get("rate", 0.5)),
+            max_attempt=int(payload.get("max_attempt", 1)),
+            freeze_seconds=float(payload.get("freeze_seconds", 2.0)),
+            poison_idents=tuple(payload.get("poison_idents", ())),
+        )
+
+
+__all__ = [
+    "EXECUTOR_FAULT_MODES",
+    "ExecutorChaosConfig",
+    "WORKER_FAULT_MODES",
+    "ChaosConfig",
+    "default_chaos",
+]

@@ -52,7 +52,23 @@ RUNNER_FAULT_KINDS: Tuple[str, ...] = (
     "poison",          # a cell that misbehaves on every attempt
 )
 
-FAULT_KINDS: Tuple[str, ...] = SIM_FAULT_KINDS + RUNNER_FAULT_KINDS
+#: Executor-layer fault classes: lease-protocol misbehaviour in the
+#: work-stealing executor (see :mod:`repro.runner.distributed`).  Names
+#: match :data:`repro.faults.chaos.EXECUTOR_FAULT_MODES`, plus the
+#: cross-host poison case (a cell that fails on every worker it reaches).
+EXECUTOR_FAULT_KINDS: Tuple[str, ...] = (
+    "worker-sigkill",     # a worker dies by SIGKILL mid-cell
+    "heartbeat-freeze",   # a worker holds its lease but stops renewing
+    "duplicate-lease",    # two workers hold the same cell at once
+    "stale-lease",        # a lease claimed with an expired heartbeat
+    "torn-journal",       # a worker journal cut mid-record by a kill
+    "result-tamper",      # a result payload flipped after sealing
+    "cross-host-poison",  # a cell that fails on every worker, everywhere
+)
+
+FAULT_KINDS: Tuple[str, ...] = (
+    SIM_FAULT_KINDS + RUNNER_FAULT_KINDS + EXECUTOR_FAULT_KINDS
+)
 
 
 @dataclass(frozen=True)
@@ -82,7 +98,11 @@ class FaultSpec:
 
     @property
     def layer(self) -> str:
-        return "sim" if self.kind in SIM_FAULT_KINDS else "runner"
+        if self.kind in SIM_FAULT_KINDS:
+            return "sim"
+        if self.kind in EXECUTOR_FAULT_KINDS:
+            return "executor"
+        return "runner"
 
 
 @dataclass(frozen=True)
@@ -171,5 +191,21 @@ def default_runner_plan(seed: int = 2019) -> FaultPlan:
         seed=seed,
         specs=tuple(
             FaultSpec(kind=kind, trigger=1) for kind in RUNNER_FAULT_KINDS
+        ),
+    )
+
+
+def default_executor_plan(seed: int = 2019) -> FaultPlan:
+    """One spec per executor-layer fault class: the lease-protocol campaign.
+
+    Every spec triggers on the first attempt: the protocol must recover
+    each violation with honest retries, so faults firing any later would
+    only retest the same clauses with less budget left.
+    """
+    return FaultPlan(
+        name="executor-default",
+        seed=seed,
+        specs=tuple(
+            FaultSpec(kind=kind, trigger=1) for kind in EXECUTOR_FAULT_KINDS
         ),
     )

@@ -12,6 +12,11 @@ shardable job graph:
   asyncio executor behind :mod:`repro.serve`;
 * :mod:`repro.runner.cache` -- a content-addressed result cache keyed on
   (experiment, params, seed, code version);
+* :mod:`repro.runner.distributed` -- the lease-based multi-host
+  :class:`WorkStealingExecutor` and the ``python -m repro worker`` loop,
+  coordinating through atomic lease files in the shared cache directory;
+* :mod:`repro.runner.backoff` -- the shared exponential-backoff +
+  deterministic-jitter retry schedule;
 * :mod:`repro.runner.progress` -- live console progress plus a JSONL run
   log;
 * :mod:`repro.runner.results` -- byte-exact reassembly of the serial
@@ -23,6 +28,7 @@ experiments.
 """
 
 from .api import default_jobs, run_all
+from .backoff import JITTER_FRACTION, backoff_delay
 from .cache import (
     DEFAULT_CACHE_DIR,
     CacheStats,
@@ -50,6 +56,13 @@ from .registry import (
     register,
     stable_seed,
 )
+from .distributed import (
+    Board,
+    Lease,
+    WorkStealingExecutor,
+    WorkerLoop,
+    worker_loop,
+)
 from .results import ARTIFACT_SOURCES, write_artifacts
 from .scheduler import (
     AsyncInProcessExecutor,
@@ -65,6 +78,7 @@ from .scheduler import (
 __all__ = [
     "ARTIFACT_SOURCES",
     "AsyncInProcessExecutor",
+    "Board",
     "CacheStats",
     "DEFAULT_CACHE_DIR",
     "DEFAULT_OPTIONS",
@@ -72,6 +86,8 @@ __all__ = [
     "Experiment",
     "InProcessExecutor",
     "IntegrityError",
+    "JITTER_FRACTION",
+    "Lease",
     "ProgressPrinter",
     "REGISTRY",
     "ResultCache",
@@ -81,7 +97,10 @@ __all__ = [
     "Scheduler",
     "TaskOutcome",
     "Unit",
+    "WorkStealingExecutor",
+    "WorkerLoop",
     "all_experiments",
+    "backoff_delay",
     "code_fingerprint",
     "completed_idents",
     "default_jobs",
@@ -95,5 +114,6 @@ __all__ = [
     "run_units_serially",
     "stable_seed",
     "unit_cache_key",
+    "worker_loop",
     "write_artifacts",
 ]

@@ -14,7 +14,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.faults.chaos import ChaosConfig
+from repro.faults.chaos import ChaosConfig, ExecutorChaosConfig
 
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .experiments import DEFAULT_OPTIONS
@@ -47,6 +47,10 @@ def run_all(
     backoff: float = 0.05,
     task_timeout: Optional[float] = None,
     chaos: Optional[ChaosConfig] = None,
+    executor: str = "pool",
+    workers: int = 0,
+    executor_options: Optional[Mapping[str, Any]] = None,
+    executor_chaos: Optional[ExecutorChaosConfig] = None,
 ) -> RunReport:
     """Run every (filtered) experiment cell and merge the artifacts.
 
@@ -61,7 +65,18 @@ def run_all(
     interrupted, its run log is replayed for a ``run_resume`` event and
     the cache transparently resumes the work; an interrupted or
     partially-failed run leaves a ``failed_cells.json`` manifest beside
-    the artifacts.
+    the artifacts (now with the full per-attempt history of each failed
+    cell).
+
+    ``executor`` picks the backend: ``"pool"`` (the default per-host
+    multiprocessing scheduler; ``--jobs 1`` degrades to in-process) or
+    ``"work-stealing"`` -- the lease-based multi-host executor of
+    :mod:`repro.runner.distributed`, which coordinates through the shared
+    cache directory and accepts any ``python -m repro worker`` process on
+    any host.  ``workers`` spawns that many local stealing workers;
+    ``executor_options`` forwards protocol knobs (``lease_ttl``,
+    ``heartbeat_interval``, ``fallback_after``, ...) and
+    ``executor_chaos`` arms the executor-level fault campaign.
     """
     started = time.monotonic()
     ensure_default_experiments()
@@ -74,6 +89,10 @@ def run_all(
 
     units = expand_units(merged_options, filters)
     report = RunReport(units_total=len(units), jobs=jobs)
+    report.executor = (
+        "work-stealing" if executor == "work-stealing"
+        else ("pool" if jobs > 1 else "serial")
+    )
 
     log_file = Path(
         log_path if log_path is not None
@@ -153,7 +172,43 @@ def run_all(
             f" {len(to_run)} to run"
         )
 
-    if to_run and jobs > 1:
+    if executor not in ("pool", "work-stealing"):
+        raise ValueError(
+            f"unknown executor {executor!r}; known: pool, work-stealing"
+        )
+    if to_run and executor == "work-stealing":
+        from .distributed import WorkStealingExecutor
+
+        stealer = WorkStealingExecutor(
+            cache_dir=cache_dir if cache_dir is not None else DEFAULT_CACHE_DIR,
+            local_workers=workers,
+            max_retries=max_retries,
+            backoff=backoff,
+            log=log,
+            progress=printer,
+            chaos=executor_chaos,
+            **dict(executor_options or {}),
+        )
+        try:
+            fresh = stealer.run(to_run)
+        finally:
+            stealer.close()
+        report.retries = stealer.retries
+        report.worker_crashes = stealer.worker_crashes
+        report.corrupt_results = stealer.corrupt_results
+        report.interrupted = stealer.interrupted
+        report.leases_reclaimed = stealer.leases_reclaimed
+        report.duplicate_completions = stealer.duplicate_completions
+        report.quarantined = stealer.quarantined
+        report.fallback_cells = stealer.fallback_cells
+        report.torn_journals = stealer.torn_journals
+        report.worker_busy = dict(stealer.worker_busy)
+        report.cells_stolen = sum(
+            count
+            for worker, count in stealer.cells_by_worker.items()
+            if not worker.startswith("orchestrator-")
+        )
+    elif to_run and jobs > 1:
         scheduler = Scheduler(
             jobs=jobs,
             max_retries=max_retries,
@@ -245,6 +300,9 @@ def run_all(
                         if outcomes[task_id].error
                         else None
                     ),
+                    # Full per-attempt evidence: worker id, fault or
+                    # exception, and the backoff each retry waited out.
+                    "history": outcomes[task_id].history,
                 }
                 for task_id in sorted(outcomes)
                 if outcomes[task_id].failed

@@ -1,0 +1,50 @@
+"""Retry pacing shared by every executor backend.
+
+One function, :func:`backoff_delay`, decides how long a failed cell
+attempt waits before it may run again: exponential growth in the attempt
+number, a hard cap, and *deterministic* jitter.  The jitter is drawn from
+CRC32 of ``(seed, ident, attempt)`` -- the same process-stable hashing as
+:func:`repro.runner.registry.stable_seed` -- so two hosts computing the
+retry schedule for the same cell agree exactly, a chaos run replays
+bit-for-bit, and yet distinct cells failing together fan out instead of
+thundering back as one herd.
+
+Used by the multiprocessing :class:`~repro.runner.scheduler.Scheduler`
+and the lease-based :class:`~repro.runner.distributed.WorkStealingExecutor`;
+anything new that retries cells should go through it too.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+#: Fraction of the exponential delay the jitter may add (half-open).
+JITTER_FRACTION = 0.5
+
+
+def backoff_delay(
+    attempt: int,
+    base: float = 0.05,
+    cap: float = 5.0,
+    ident: str = "",
+    seed: int = 0,
+) -> float:
+    """Seconds to wait before retrying ``ident`` after ``attempt`` failures.
+
+    ``attempt`` is 1-based (the delay after the first failure uses
+    ``attempt=1``).  The raw delay is ``base * 2**(attempt-1)``, capped at
+    ``cap``; deterministic jitter then adds up to ``JITTER_FRACTION`` of
+    that, drawn from ``crc32(f"{seed}/{ident}/{attempt}")`` so the
+    schedule is a pure function of the cell's identity.
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based and must be >= 1")
+    if base < 0 or cap < 0:
+        raise ValueError("base and cap must be non-negative")
+    raw = min(base * (2 ** (attempt - 1)), cap)
+    digest = zlib.crc32(f"{seed}/{ident}/{attempt}".encode())
+    jitter = ((digest % 10_000) / 10_000.0) * JITTER_FRACTION
+    return raw * (1.0 + jitter)
+
+
+__all__ = ["JITTER_FRACTION", "backoff_delay"]

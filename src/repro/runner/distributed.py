@@ -1,0 +1,1364 @@
+"""Lease-based multi-host work stealing over the shared result cache.
+
+This is the third :class:`~repro.runner.scheduler.Executor` backend: N
+independent worker processes -- on this host or any host that mounts the
+same cache directory -- *steal* cells from a shared board instead of
+being fed by a parent.  The parent run (``run-all --executor
+work-stealing``) publishes every cell as a task file, and from then on
+coordination happens exclusively through atomic filesystem operations in
+``<cache-dir>/board/``:
+
+``tasks/<cell>.json``
+    One published cell: the unit's coordinates, the code fingerprint it
+    must be executed under, and the retry/lease parameters.  The cell id
+    is :func:`~repro.runner.cache.unit_cache_key` -- the same content
+    address the result cache uses.
+``leases/<cell>.json``
+    The claim.  Created with ``O_CREAT | O_EXCL`` so exactly one worker
+    wins; holds ``{cell, worker, heartbeat, attempt}``.  The owner
+    renews ``heartbeat`` from a background thread; any other party that
+    finds a heartbeat older than the lease TTL *reclaims* the lease --
+    rename-to-private-name first, so exactly one reclaimer wins too.
+``attempts/<cell>.jsonl``
+    Append-only per-cell attempt history: every error, reclaim, and
+    completion lands here with the worker id, the backoff applied, and
+    the ``not_before`` time gating the next claim.  This journal is the
+    quarantine evidence: a poison cell's full cross-worker history goes
+    into ``failed_cells.json`` verbatim.
+``results/<cell>.pkl``
+    The sealed outcome: a pickled record carrying the
+    :class:`~repro.runner.scheduler.ResultEnvelope` blob + SHA-256 plus
+    the producing worker and code fingerprint.  The parent refuses any
+    result whose digest, cell id, or code fingerprint does not match --
+    tampered, torn, or stale results are deleted and re-executed, never
+    served.
+``workers/<worker>.json`` / ``journal/<worker>.jsonl``
+    Worker presence heartbeats (the parent's degraded-mode signal) and
+    per-worker event journals, read with the torn-tail-tolerant
+    :func:`repro.sim.read_jsonl`.
+
+Retry pacing is the shared :func:`~repro.runner.backoff.backoff_delay`
+(exponential + CRC32-deterministic jitter), so every host computes the
+identical schedule.  A cell whose attempts exhaust the budget -- or that
+kills ``worker_kill_threshold`` distinct workers -- is quarantined with
+its full attempt history.  If no worker (local or remote) ever checks
+in, the parent degrades gracefully: it claims cells through the very
+same lease protocol and runs them inline, so ``--executor
+work-stealing`` on a lonely host still completes.
+
+Determinism makes duplicate execution harmless: two workers racing the
+same cell (a stale lease reclaimed while its owner was merely slow, a
+chaos-injected duplicate lease) produce byte-identical envelopes, and
+the atomic result rename means the last writer wins whole.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import platform
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.faults.chaos import ExecutorChaosConfig
+
+from .backoff import backoff_delay
+from .cache import _atomic_write, code_fingerprint, unit_cache_key
+from .progress import ProgressPrinter, RunLog
+from .registry import Unit, ensure_default_experiments, get_experiment
+from .scheduler import Executor, IntegrityError, ResultEnvelope, TaskOutcome
+
+#: Board directory name inside the shared cache directory.
+BOARD_DIR = "board"
+
+#: Default lease protocol timings (seconds).  Chosen so a same-host test
+#: topology converges quickly while a cross-host NFS mount with sloppy
+#: attribute caching still has comfortable margins; override per run.
+DEFAULT_LEASE_TTL = 10.0
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+
+def _append_jsonl(path: Path, record: Mapping[str, Any]) -> None:
+    """Append one JSONL record with a single O_APPEND write.
+
+    Multiple workers append to the same attempt journal concurrently; a
+    single ``os.write`` of one line keeps records whole under POSIX
+    append semantics (and a torn tail from a killed writer is exactly
+    what :func:`repro.sim.read_jsonl` tolerates).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    line = json.dumps(record, sort_keys=False, default=str) + "\n"
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line.encode("utf-8"))
+    finally:
+        os.close(fd)
+
+
+def _read_jsonl_quiet(path: Path) -> List[Dict[str, Any]]:
+    """Torn-tail-tolerant JSONL read; missing file reads as empty."""
+    import warnings
+
+    from repro.sim import read_jsonl
+
+    if not path.is_file():
+        return []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        try:
+            return read_jsonl(path)
+        except ValueError:
+            # Interior corruption: surface as "no usable history" rather
+            # than wedging the protocol; the cell simply retries.
+            return []
+
+
+def default_worker_id() -> str:
+    return f"{platform.node() or 'host'}-{os.getpid()}"
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One worker's claim on one cell."""
+
+    cell: str
+    worker: str
+    heartbeat: float
+    attempt: int
+    claimed_at: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cell": self.cell,
+            "worker": self.worker,
+            "heartbeat": self.heartbeat,
+            "attempt": self.attempt,
+            "claimed_at": self.claimed_at,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Lease":
+        return cls(
+            cell=str(payload.get("cell", "")),
+            worker=str(payload.get("worker", "")),
+            heartbeat=float(payload.get("heartbeat", 0.0)),
+            attempt=int(payload.get("attempt", 1)),
+            claimed_at=float(payload.get("claimed_at", 0.0)),
+        )
+
+
+class Board:
+    """The shared coordination directory (see module docstring).
+
+    Every mutation is either an ``O_EXCL`` create, an atomic
+    write-then-rename, a rename, or a single appended line -- no
+    operation can be observed half-done by another host.
+    """
+
+    def __init__(self, cache_dir: Path | str) -> None:
+        self.root = Path(cache_dir) / BOARD_DIR
+        self.tasks = self.root / "tasks"
+        self.leases = self.root / "leases"
+        self.results = self.root / "results"
+        self.attempts = self.root / "attempts"
+        self.quarantine = self.root / "quarantine"
+        self.workers = self.root / "workers"
+        self.journals = self.root / "journal"
+        self.stop_path = self.root / "stop"
+        self._reclaim_serial = 0
+
+    def ensure_layout(self) -> None:
+        for directory in (
+            self.tasks, self.leases, self.results, self.attempts,
+            self.quarantine, self.workers, self.journals,
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    # -- tasks -------------------------------------------------------------------
+
+    def publish(self, unit: Unit, cell: str, config: Mapping[str, Any]) -> None:
+        task = {
+            "cell": cell,
+            "ident": unit.ident,
+            "unit": {
+                "experiment": unit.experiment,
+                "key": unit.key,
+                "params": dict(unit.params),
+                "seed": unit.seed,
+            },
+        }
+        task.update(config)
+        _atomic_write(
+            self.tasks / f"{cell}.json",
+            json.dumps(task, sort_keys=True, default=str) + "\n",
+        )
+
+    def load_task(self, cell: str) -> Optional[Dict[str, Any]]:
+        try:
+            return json.loads((self.tasks / f"{cell}.json").read_text())
+        except (OSError, ValueError):
+            return None
+
+    def task_cells(self) -> List[str]:
+        return sorted(
+            path.name[: -len(".json")]
+            for path in self.tasks.glob("*.json")
+        )
+
+    @staticmethod
+    def task_unit(task: Mapping[str, Any]) -> Unit:
+        raw = task["unit"]
+        return Unit(
+            experiment=raw["experiment"],
+            key=raw["key"],
+            params=dict(raw.get("params", {})),
+            seed=int(raw.get("seed", 0)),
+        )
+
+    def retire(self, cell: str) -> None:
+        """Remove one cell's board files (after its result is banked)."""
+        for path in (
+            self.tasks / f"{cell}.json",
+            self.leases / f"{cell}.json",
+            self.results / f"{cell}.pkl",
+            self.attempts / f"{cell}.jsonl",
+            self.quarantine / f"{cell}.json",
+        ):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- leases ------------------------------------------------------------------
+
+    def lease_path(self, cell: str) -> Path:
+        return self.leases / f"{cell}.json"
+
+    def read_lease(self, cell: str) -> Optional[Lease]:
+        try:
+            payload = json.loads(self.lease_path(cell).read_text())
+        except (OSError, ValueError):
+            return None
+        return Lease.from_dict(payload)
+
+    def try_claim(
+        self,
+        cell: str,
+        worker: str,
+        attempt: int,
+        heartbeat: Optional[float] = None,
+        force: bool = False,
+    ) -> Optional[Lease]:
+        """Atomically claim ``cell``; returns the lease or ``None``.
+
+        ``force`` overwrites any existing lease -- that is a *protocol
+        violation* used only by the chaos campaign's duplicate-lease
+        fault; honest claimants always go through ``O_EXCL``.
+        """
+        now = time.time()
+        lease = Lease(
+            cell=cell,
+            worker=worker,
+            heartbeat=heartbeat if heartbeat is not None else now,
+            attempt=attempt,
+            claimed_at=now,
+        )
+        path = self.lease_path(cell)
+        payload = json.dumps(lease.to_dict(), sort_keys=True) + "\n"
+        if force:
+            _atomic_write(path, payload)
+            return lease
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return None
+        try:
+            os.write(fd, payload.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return lease
+
+    def renew(self, cell: str, worker: str) -> bool:
+        """Refresh the heartbeat of a lease we still own.
+
+        Read-check-rewrite: if the lease vanished (reclaimed) or changed
+        owner, renewal fails and the caller must assume it lost the cell.
+        The rewrite is atomic, so a racing reader always sees one whole
+        lease or the other.
+        """
+        current = self.read_lease(cell)
+        if current is None or current.worker != worker:
+            return False
+        refreshed = Lease(
+            cell=cell,
+            worker=worker,
+            heartbeat=time.time(),
+            attempt=current.attempt,
+            claimed_at=current.claimed_at,
+        )
+        _atomic_write(
+            self.lease_path(cell),
+            json.dumps(refreshed.to_dict(), sort_keys=True) + "\n",
+        )
+        return True
+
+    def release(self, cell: str, worker: str) -> None:
+        """Drop a lease we own (completion or handled failure)."""
+        current = self.read_lease(cell)
+        if current is not None and current.worker == worker:
+            try:
+                self.lease_path(cell).unlink()
+            except OSError:
+                pass
+
+    def reclaim_if_stale(
+        self, cell: str, reclaimer: str, lease_ttl: float,
+        backoff: Mapping[str, Any],
+    ) -> Optional[Lease]:
+        """Reclaim ``cell``'s lease if its heartbeat expired.
+
+        The winner is decided by ``os.rename`` to a reclaimer-private
+        name: the filesystem guarantees exactly one rename succeeds, so
+        a fleet of reclaimers never double-counts an attempt.  The dead
+        attempt is closed out in the attempt journal with the shared
+        backoff schedule gating the next claim.
+        """
+        lease = self.read_lease(cell)
+        if lease is None:
+            return None
+        if time.time() - lease.heartbeat <= lease_ttl:
+            return None
+        self._reclaim_serial += 1
+        takeover = self.leases / (
+            f"{cell}.reclaim.{reclaimer}.{os.getpid()}.{self._reclaim_serial}"
+        )
+        try:
+            os.rename(self.lease_path(cell), takeover)
+        except OSError:
+            return None  # another reclaimer won
+        # Re-read the moved lease: it may have been renewed between our
+        # staleness check and the rename.
+        try:
+            moved = Lease.from_dict(json.loads(takeover.read_text()))
+        except (OSError, ValueError):
+            moved = lease
+        finally:
+            try:
+                takeover.unlink()
+            except OSError:
+                pass
+        delay = backoff_delay(
+            moved.attempt,
+            base=float(backoff.get("base", 0.05)),
+            cap=float(backoff.get("cap", 5.0)),
+            ident=cell,
+            seed=int(backoff.get("seed", 0)),
+        )
+        self.record_attempt(
+            cell,
+            {
+                "attempt": moved.attempt,
+                "worker": moved.worker,
+                "status": "reclaimed",
+                "by": reclaimer,
+                "heartbeat_age": round(time.time() - moved.heartbeat, 3),
+                "backoff": round(delay, 4),
+                "not_before": time.time() + delay,
+                "time": time.time(),
+            },
+        )
+        return moved
+
+    # -- attempt history ---------------------------------------------------------
+
+    def attempt_records(self, cell: str) -> List[Dict[str, Any]]:
+        return _read_jsonl_quiet(self.attempts / f"{cell}.jsonl")
+
+    def record_attempt(self, cell: str, record: Mapping[str, Any]) -> None:
+        _append_jsonl(self.attempts / f"{cell}.jsonl", record)
+
+    # -- results -----------------------------------------------------------------
+
+    def result_path(self, cell: str) -> Path:
+        return self.results / f"{cell}.pkl"
+
+    def write_result(
+        self,
+        cell: str,
+        ident: str,
+        worker: str,
+        envelope: ResultEnvelope,
+        elapsed: float,
+        code_version: str,
+    ) -> None:
+        record = {
+            "cell": cell,
+            "ident": ident,
+            "worker": worker,
+            "code_version": code_version,
+            "sha256": envelope.sha256,
+            "blob": envelope.blob,
+            "elapsed": elapsed,
+        }
+        _atomic_write(
+            self.result_path(cell),
+            pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def read_result(self, cell: str) -> Optional[Dict[str, Any]]:
+        """Load one result record; unreadable bytes read as ``None``."""
+        path = self.result_path(cell)
+        if not path.is_file():
+            return None
+        try:
+            with path.open("rb") as handle:
+                record = pickle.load(handle)
+        except Exception:
+            return {"cell": cell, "unreadable": True}
+        if not isinstance(record, dict):
+            return {"cell": cell, "unreadable": True}
+        return record
+
+    def drop_result(self, cell: str) -> None:
+        try:
+            self.result_path(cell).unlink()
+        except OSError:
+            pass
+
+    # -- quarantine --------------------------------------------------------------
+
+    def quarantine_cell(self, cell: str, payload: Mapping[str, Any]) -> None:
+        _atomic_write(
+            self.quarantine / f"{cell}.json",
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+        )
+
+    def is_quarantined(self, cell: str) -> bool:
+        return (self.quarantine / f"{cell}.json").is_file()
+
+    # -- worker presence + journals ----------------------------------------------
+
+    def worker_heartbeat(self, worker: str) -> None:
+        _atomic_write(
+            self.workers / f"{worker}.json",
+            json.dumps(
+                {
+                    "worker": worker,
+                    "heartbeat": time.time(),
+                    "pid": os.getpid(),
+                    "host": platform.node(),
+                },
+                sort_keys=True,
+            ) + "\n",
+        )
+
+    def fresh_workers(self, ttl: float) -> List[str]:
+        now = time.time()
+        fresh = []
+        for path in self.workers.glob("*.json"):
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if now - float(payload.get("heartbeat", 0.0)) <= ttl:
+                fresh.append(str(payload.get("worker", path.stem)))
+        return sorted(fresh)
+
+    def journal(self, worker: str, event: str, **fields: Any) -> None:
+        record: Dict[str, Any] = {"event": event, "time": time.time()}
+        record.update(fields)
+        _append_jsonl(self.journals / f"{worker}.jsonl", record)
+
+    def journal_events(self, worker: str) -> List[Dict[str, Any]]:
+        return _read_jsonl_quiet(self.journals / f"{worker}.jsonl")
+
+    def stop_requested(self) -> bool:
+        return self.stop_path.is_file()
+
+    def request_stop(self) -> None:
+        _atomic_write(self.stop_path, "stop\n")
+
+    def clear_stop(self) -> None:
+        try:
+            self.stop_path.unlink()
+        except OSError:
+            pass
+
+
+class WorkerLoop:
+    """One worker's side of the lease protocol.
+
+    Drives ``claim -> heartbeat -> run -> complete/fail`` for one cell at
+    a time; shared by ``python -m repro worker``, the executor's locally
+    spawned workers, and the parent's degraded inline mode.  With an
+    :class:`~repro.faults.chaos.ExecutorChaosConfig` the loop misbehaves
+    deterministically per ``(cell ident, attempt)`` -- every fault mode
+    attacks a specific clause of the protocol (see the chaos campaign).
+    """
+
+    def __init__(
+        self,
+        board: Board,
+        worker_id: Optional[str] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        chaos: Optional[ExecutorChaosConfig] = None,
+    ) -> None:
+        self.board = board
+        self.worker_id = worker_id or default_worker_id()
+        self.heartbeat_interval = heartbeat_interval
+        self.chaos = chaos
+        self.cells_completed = 0
+        self.cells_failed = 0
+        self._journal_torn = False
+
+    # -- journal helper (a torn journal must stay torn at the tail) --------------
+
+    def _journal(self, event: str, **fields: Any) -> None:
+        if self._journal_torn:
+            return
+        self.board.journal(self.worker_id, event, **fields)
+
+    def _tear_journal(self) -> None:
+        """Simulate a kill mid-append: truncate the tail mid-record."""
+        path = self.board.journals / f"{self.worker_id}.jsonl"
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return
+        if size > 10:
+            with path.open("rb+") as handle:
+                handle.truncate(size - 10)
+        self._journal_torn = True
+
+    # -- claiming ----------------------------------------------------------------
+
+    def _claimable(self, cell: str, task: Mapping[str, Any]) -> Optional[int]:
+        """The attempt number a claim would use, or ``None``."""
+        if self.board.read_result(cell) is not None:
+            return None
+        if self.board.is_quarantined(cell):
+            return None
+        records = self.board.attempt_records(cell)
+        attempt = len(records) + 1
+        if attempt > int(task.get("max_attempts", 4)):
+            return None
+        if records:
+            not_before = float(records[-1].get("not_before", 0.0))
+            if not_before > time.time():
+                return None
+        return attempt
+
+    def run_once(self) -> bool:
+        """Claim and run at most one cell; returns whether work was done.
+
+        Also performs one pass of stale-lease reclamation over the
+        board, so any worker -- not just the parent -- can recover cells
+        from a crashed peer: that is the "stealing" in work stealing.
+        """
+        self.board.worker_heartbeat(self.worker_id)
+        own_fingerprint = code_fingerprint()
+        reclaimed_any = False
+        for cell in self.board.task_cells():
+            task = self.board.load_task(cell)
+            if task is None:
+                continue
+            backoff = {
+                "base": task.get("backoff_base", 0.05),
+                "cap": task.get("backoff_cap", 5.0),
+                "seed": task.get("backoff_seed", 0),
+            }
+            if self.board.read_result(cell) is None and not reclaimed_any:
+                if self.board.reclaim_if_stale(
+                    cell, self.worker_id,
+                    float(task.get("lease_ttl", DEFAULT_LEASE_TTL)),
+                    backoff,
+                ) is not None:
+                    reclaimed_any = True
+            if task.get("code_version") not in (None, own_fingerprint):
+                # A task published by a different source tree: running it
+                # here would bank a result under the wrong fingerprint.
+                continue
+            attempt = self._claimable(cell, task)
+            if attempt is None:
+                continue
+            ident = str(task.get("ident", cell))
+            fault = (
+                self.chaos.fault_for(ident, attempt)
+                if self.chaos is not None else None
+            )
+            force = fault == "duplicate-lease"
+            if not force and self.board.read_lease(cell) is not None:
+                continue  # validly held by someone else
+            heartbeat = None
+            if fault == "stale-lease":
+                # Claim with an already-expired heartbeat and never renew:
+                # the reclaimers must take the cell away mid-run.
+                heartbeat = time.time() - 100.0 * float(
+                    task.get("lease_ttl", DEFAULT_LEASE_TTL)
+                )
+            lease = self.board.try_claim(
+                cell, self.worker_id, attempt,
+                heartbeat=heartbeat, force=force,
+            )
+            if lease is None:
+                continue
+            self._run_claimed(cell, ident, task, attempt, fault, backoff)
+            return True
+        return reclaimed_any
+
+    # -- executing one claimed cell ----------------------------------------------
+
+    def _run_claimed(
+        self,
+        cell: str,
+        ident: str,
+        task: Mapping[str, Any],
+        attempt: int,
+        fault: Optional[str],
+        backoff: Mapping[str, Any],
+    ) -> None:
+        import threading
+
+        self._journal("claim", cell=cell, ident=ident, attempt=attempt)
+        if fault == "worker-sigkill":
+            # Die the hard way mid-cell: no result, no release, no goodbye.
+            os.kill(os.getpid(), 9)
+
+        frozen = fault in ("heartbeat-freeze", "stale-lease")
+        stop_renewing = threading.Event()
+
+        def renew_loop() -> None:
+            while not stop_renewing.wait(self.heartbeat_interval):
+                self.board.worker_heartbeat(self.worker_id)
+                if frozen:
+                    continue
+                if not self.board.renew(cell, self.worker_id):
+                    return  # lease lost; finish the cell, touch nothing
+
+        renewer = threading.Thread(target=renew_loop, daemon=True)
+        renewer.start()
+        unit = self.board.task_unit(task)
+        started = time.perf_counter()
+        abandoned = False
+        try:
+            if fault == "poison":
+                raise RuntimeError(f"chaos: poisoned cell {ident}")
+            if fault == "stale-lease" and self.chaos is not None:
+                # Hold the cell past the lease TTL so the reclaimers see
+                # the (deliberately expired) lease and take it away while
+                # this worker is still computing.
+                time.sleep(self.chaos.freeze_seconds)
+            if fault == "heartbeat-freeze" and self.chaos is not None:
+                # Hold the cell, silent, past the lease TTL, then walk
+                # away without a result or release: the worst-behaved
+                # slow worker.  The abandoned (now stale) lease is left
+                # for the reclaimers -- releasing it would hide the
+                # fault and let the same attempt fire again.
+                time.sleep(self.chaos.freeze_seconds)
+                self._journal("abandon", cell=cell)
+                abandoned = True
+                return
+            value = get_experiment(unit.experiment).run(dict(unit.params))
+        except BaseException:
+            elapsed = time.perf_counter() - started
+            error = traceback.format_exc()
+            delay = backoff_delay(
+                attempt,
+                base=float(backoff.get("base", 0.05)),
+                cap=float(backoff.get("cap", 5.0)),
+                ident=cell,
+                seed=int(backoff.get("seed", 0)),
+            )
+            self.board.record_attempt(
+                cell,
+                {
+                    "attempt": attempt,
+                    "worker": self.worker_id,
+                    "status": "error",
+                    "error": error.splitlines()[-1],
+                    "elapsed": round(elapsed, 4),
+                    "backoff": round(delay, 4),
+                    "not_before": time.time() + delay,
+                    "time": time.time(),
+                },
+            )
+            self._journal(
+                "error", cell=cell, attempt=attempt,
+            )
+            self.cells_failed += 1
+        else:
+            elapsed = time.perf_counter() - started
+            envelope = ResultEnvelope.seal(value)
+            if fault == "result-tamper":
+                tampered = bytearray(envelope.blob)
+                tampered[len(tampered) // 2] ^= 0xFF
+                envelope = ResultEnvelope(
+                    blob=bytes(tampered), sha256=envelope.sha256
+                )
+            self.board.write_result(
+                cell, ident, self.worker_id, envelope, elapsed,
+                str(task.get("code_version") or code_fingerprint()),
+            )
+            self.board.record_attempt(
+                cell,
+                {
+                    "attempt": attempt,
+                    "worker": self.worker_id,
+                    "status": "ok",
+                    "elapsed": round(elapsed, 4),
+                    "time": time.time(),
+                },
+            )
+            self._journal(
+                "done", cell=cell, attempt=attempt,
+                elapsed=round(elapsed, 4),
+            )
+            self.cells_completed += 1
+            if fault == "duplicate-lease":
+                # The protocol violation proper: claim the finished cell
+                # again over whatever lease state exists and complete it
+                # a second time -- exactly what a second worker holding a
+                # duplicate lease would do.  Determinism must make the
+                # double execution byte-identical and therefore harmless.
+                self.board.try_claim(
+                    cell, self.worker_id, attempt, force=True
+                )
+                dup_value = get_experiment(unit.experiment).run(
+                    dict(unit.params)
+                )
+                self.board.write_result(
+                    cell, ident, f"{self.worker_id}+dup",
+                    ResultEnvelope.seal(dup_value), elapsed,
+                    str(task.get("code_version") or code_fingerprint()),
+                )
+                self.board.record_attempt(
+                    cell,
+                    {
+                        "attempt": attempt,
+                        "worker": f"{self.worker_id}+dup",
+                        "status": "ok",
+                        "elapsed": round(elapsed, 4),
+                        "duplicate": True,
+                        "time": time.time(),
+                    },
+                )
+            if fault == "torn-journal":
+                self._tear_journal()
+        finally:
+            stop_renewing.set()
+            renewer.join(timeout=2.0)
+            if not abandoned:
+                self.board.release(cell, self.worker_id)
+
+
+def worker_loop(
+    cache_dir: Path | str,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.5,
+    idle_exit: Optional[float] = 30.0,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    chaos: Optional[ExecutorChaosConfig] = None,
+    quiet: bool = True,
+) -> int:
+    """The ``python -m repro worker <cache-dir>`` entry point.
+
+    Steals cells from the board until the parent raises the stop flag, a
+    SIGTERM arrives, or the board has been idle for ``idle_exit``
+    seconds (``None`` waits forever).  Returns the number of cells this
+    worker completed.
+    """
+    import signal
+
+    ensure_default_experiments()
+    from repro.faults.campaign import ensure_probe_experiment
+
+    ensure_probe_experiment()
+    board = Board(cache_dir)
+    board.ensure_layout()
+    loop = WorkerLoop(
+        board,
+        worker_id=worker_id,
+        heartbeat_interval=heartbeat_interval,
+        chaos=chaos,
+    )
+    stopping = {"now": False}
+
+    def handle_term(_signum: int, _frame: Any) -> None:
+        stopping["now"] = True
+
+    previous = signal.getsignal(signal.SIGTERM)
+    try:
+        signal.signal(signal.SIGTERM, handle_term)
+    except ValueError:  # pragma: no cover - non-main thread
+        previous = None
+    if not quiet:
+        print(
+            f"[repro.worker] {loop.worker_id} stealing from {board.root}",
+            flush=True,
+        )
+    last_work = time.monotonic()
+    try:
+        while not stopping["now"] and not board.stop_requested():
+            if loop.run_once():
+                last_work = time.monotonic()
+                continue
+            if (
+                idle_exit is not None
+                and time.monotonic() - last_work > idle_exit
+            ):
+                break
+            time.sleep(poll_interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        board.journal(
+            loop.worker_id, "exit",
+            completed=loop.cells_completed, failed=loop.cells_failed,
+        )
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+    if not quiet:
+        print(
+            f"[repro.worker] {loop.worker_id} exiting:"
+            f" {loop.cells_completed} cells completed",
+            flush=True,
+        )
+    return loop.cells_completed
+
+
+def _spawned_worker_main(
+    cache_dir: str,
+    worker_id: str,
+    poll_interval: float,
+    heartbeat_interval: float,
+    chaos_payload: Optional[Dict[str, Any]],
+) -> None:
+    """Target for the executor's locally spawned worker processes."""
+    chaos = (
+        ExecutorChaosConfig.from_dict(chaos_payload)
+        if chaos_payload is not None else None
+    )
+    worker_loop(
+        cache_dir,
+        worker_id=worker_id,
+        poll_interval=poll_interval,
+        idle_exit=None,
+        heartbeat_interval=heartbeat_interval,
+        chaos=chaos,
+    )
+
+
+@dataclass
+class _PendingCell:
+    task_id: int
+    unit: Unit
+    cell: str
+    published: float = field(default_factory=time.time)
+
+
+class WorkStealingExecutor(Executor):
+    """The parent side: publish cells, bank results, keep the fleet honest.
+
+    Satisfies the :class:`~repro.runner.scheduler.Executor` seam
+    (``submit``/``run``) so ``run_all`` and :mod:`repro.serve` drive it
+    like any other backend.  ``local_workers`` spawns that many worker
+    processes on this host over the same protocol remote workers use
+    (``python -m repro worker``); with zero local workers the parent
+    waits ``fallback_after`` seconds for anyone to check in, then
+    degrades to claiming and running cells inline.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Path | str,
+        local_workers: int = 0,
+        max_retries: int = 2,
+        backoff: float = 0.05,
+        backoff_cap: float = 5.0,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        poll_interval: float = 0.2,
+        fallback_after: float = 10.0,
+        worker_kill_threshold: int = 2,
+        drain_timeout: Optional[float] = None,
+        retire_cells: bool = True,
+        log: Optional[RunLog] = None,
+        progress: Optional[ProgressPrinter] = None,
+        chaos: Optional[ExecutorChaosConfig] = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.board = Board(cache_dir)
+        self.local_workers = max(0, local_workers)
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.lease_ttl = lease_ttl
+        self.heartbeat_interval = heartbeat_interval
+        self.poll_interval = poll_interval
+        self.fallback_after = fallback_after
+        self.worker_kill_threshold = max(1, worker_kill_threshold)
+        self.drain_timeout = drain_timeout
+        #: Remove a cell's board files once its outcome is banked; the
+        #: durable layer is the regular result cache, not the board.
+        self.retire_cells = retire_cells
+        self.log = log or RunLog(None)
+        self.progress = progress
+        self.chaos = chaos
+        self.code_version = code_fingerprint()
+        # -- counters mirrored into the run report -------------------------------
+        self.retries = 0
+        self.leases_reclaimed = 0
+        self.corrupt_results = 0
+        self.duplicate_completions = 0
+        self.worker_crashes = 0
+        self.quarantined = 0
+        self.fallback_cells = 0
+        #: Worker journals found ending mid-record (a kill during append).
+        self.torn_journals = 0
+        self.interrupted = False
+        #: cells completed per worker id (remote ids included).
+        self.cells_by_worker: Dict[str, int] = {}
+        self.worker_busy: Dict[Any, float] = {}
+        try:
+            import multiprocessing
+
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            self._ctx = None
+        self._processes: Dict[str, Any] = {}
+        self._spawn_serial = 0
+
+    # -- Executor seam -----------------------------------------------------------
+
+    def submit(self, unit: Unit) -> TaskOutcome:
+        return self.run([(0, unit)])[0]
+
+    def close(self) -> None:
+        self._stop_local_workers(force=True)
+
+    # -- local fleet -------------------------------------------------------------
+
+    def _spawn_local_worker(self) -> None:
+        if self._ctx is None:  # pragma: no cover - non-POSIX platforms
+            return
+        self._spawn_serial += 1
+        worker_id = f"local-{os.getpid()}-{self._spawn_serial}"
+        process = self._ctx.Process(
+            target=_spawned_worker_main,
+            args=(
+                str(self.cache_dir),
+                worker_id,
+                min(self.poll_interval, 0.2),
+                self.heartbeat_interval,
+                self.chaos.to_dict() if self.chaos is not None else None,
+            ),
+            daemon=True,
+            name=f"repro-steal-{worker_id}",
+        )
+        process.start()
+        self._processes[worker_id] = process
+
+    def _tend_local_workers(self) -> None:
+        """Respawn locally spawned workers that died (e.g. SIGKILL chaos)."""
+        for worker_id, process in list(self._processes.items()):
+            if process.is_alive():
+                continue
+            del self._processes[worker_id]
+            self.worker_crashes += 1
+            self.log.emit(
+                "worker_crash",
+                worker=worker_id,
+                pid=process.pid,
+                exitcode=process.exitcode,
+            )
+            self._spawn_local_worker()
+
+    def _stop_local_workers(self, force: bool = False) -> None:
+        if not self._processes:
+            return
+        self.board.request_stop()
+        deadline = time.monotonic() + (0.0 if force else 5.0)
+        for process in self._processes.values():
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in self._processes.values():
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        self._processes.clear()
+
+    # -- banking results ---------------------------------------------------------
+
+    def _accept_result(
+        self, pending: _PendingCell, record: Mapping[str, Any]
+    ) -> Optional[TaskOutcome]:
+        """Verify one board result record; corrupt records are re-queued."""
+        cell = pending.cell
+        reject: Optional[str] = None
+        if record.get("unreadable"):
+            reject = "unreadable result record (torn or truncated write)"
+        elif record.get("cell") != cell:
+            reject = "result record names a different cell"
+        elif record.get("code_version") != self.code_version:
+            reject = (
+                "result computed under a different code fingerprint"
+            )
+        else:
+            envelope = ResultEnvelope(
+                blob=record.get("blob", b""),
+                sha256=str(record.get("sha256", "")),
+            )
+            try:
+                value = envelope.open()
+            except IntegrityError:
+                reject = "result payload failed its integrity check"
+            except Exception:
+                reject = "result payload failed to deserialize"
+        if reject is not None:
+            self.corrupt_results += 1
+            self.board.drop_result(cell)
+            records = self.board.attempt_records(cell)
+            attempt = max(1, len(records))
+            delay = backoff_delay(
+                attempt + 1,
+                base=self.backoff,
+                cap=self.backoff_cap,
+                ident=cell,
+                seed=pending.unit.seed,
+            )
+            self.board.record_attempt(
+                cell,
+                {
+                    "attempt": attempt,
+                    "worker": str(record.get("worker", "?")),
+                    "status": "corrupt",
+                    "error": reject,
+                    "backoff": round(delay, 4),
+                    "not_before": time.time() + delay,
+                    "time": time.time(),
+                },
+            )
+            self.retries += 1
+            self.log.emit(
+                "corrupt_result",
+                experiment=pending.unit.experiment,
+                key=pending.unit.key,
+                worker=record.get("worker"),
+                reason=reject,
+            )
+            return None
+        worker = str(record.get("worker", "?"))
+        elapsed = float(record.get("elapsed", 0.0))
+        records = self.board.attempt_records(cell)
+        self._reconcile_reclaims(records)
+        attempts = max(
+            1,
+            sum(
+                1 for item in records
+                if item.get("status") in ("ok", "error", "reclaimed", "corrupt")
+            ),
+        )
+        self.cells_by_worker[worker] = self.cells_by_worker.get(worker, 0) + 1
+        self.worker_busy[worker] = (
+            self.worker_busy.get(worker, 0.0) + elapsed
+        )
+        self.log.emit(
+            "unit_done",
+            experiment=pending.unit.experiment,
+            key=pending.unit.key,
+            status="ok",
+            cached=False,
+            elapsed=round(elapsed, 4),
+            worker=worker,
+            attempts=attempts,
+        )
+        return TaskOutcome(
+            unit=pending.unit,
+            value=value,
+            elapsed=elapsed,
+            worker=worker,
+            attempts=attempts,
+            envelope=envelope,
+        )
+
+    def _reconcile_reclaims(self, records: List[Mapping[str, Any]]) -> None:
+        """Fold worker-performed reclaims into ``leases_reclaimed``.
+
+        Any participant may win a stale-lease reclaim, but only the
+        orchestrator's own wins increment the counter live; the attempt
+        records are the protocol-wide ground truth, read exactly once per
+        cell (at acceptance or quarantine, before retirement).
+        """
+        self.leases_reclaimed += sum(
+            1
+            for item in records
+            if item.get("status") == "reclaimed"
+            and item.get("by") != "orchestrator"
+        )
+
+    def _quarantine_check(
+        self, pending: _PendingCell
+    ) -> Optional[TaskOutcome]:
+        """Fail a cell whose budget is spent or that kills workers."""
+        records = self.board.attempt_records(pending.cell)
+        fatal = [
+            item for item in records
+            if item.get("status") in ("error", "reclaimed", "corrupt")
+        ]
+        killed_workers = {
+            str(item.get("worker"))
+            for item in records
+            if item.get("status") == "reclaimed"
+        }
+        exhausted = len(records) >= self.max_retries + 1 and len(fatal) >= (
+            self.max_retries + 1
+        )
+        killer = len(killed_workers) >= self.worker_kill_threshold
+        if not exhausted and not killer:
+            return None
+        self._reconcile_reclaims(records)
+        reason = (
+            f"cell killed {len(killed_workers)} distinct workers"
+            if killer and not exhausted
+            else "attempt budget exhausted"
+        )
+        errors = [
+            str(item.get("error"))
+            for item in fatal if item.get("error")
+        ]
+        error = errors[-1] if errors else reason
+        self.quarantined += 1
+        self.board.quarantine_cell(
+            pending.cell,
+            {
+                "ident": pending.unit.ident,
+                "reason": reason,
+                "history": records,
+            },
+        )
+        self.log.emit(
+            "unit_done",
+            experiment=pending.unit.experiment,
+            key=pending.unit.key,
+            status="failed",
+            attempts=len(records),
+            error=error,
+        )
+        return TaskOutcome(
+            unit=pending.unit,
+            failed=True,
+            error=f"{reason}: {error}",
+            attempts=len(records),
+            history=list(records),
+        )
+
+    def _scan_journals(self) -> None:
+        """Count worker journals with torn tails (kills mid-append).
+
+        The journals are advisory evidence, not protocol state, so a tear
+        is *masked* by design -- but it must be visible, never silently
+        absorbed: this count reaches the run report and the chaos matrix.
+        """
+        for path in self.board.journals.glob("*.jsonl"):
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            if not raw:
+                continue
+            if not raw.endswith(b"\n"):
+                self.torn_journals += 1
+                continue
+            last = raw.rstrip(b"\n").rsplit(b"\n", 1)[-1]
+            try:
+                json.loads(last)
+            except ValueError:
+                self.torn_journals += 1
+
+    # -- the drain loop ----------------------------------------------------------
+
+    def run(self, units: List[Tuple[int, Unit]]) -> Dict[int, TaskOutcome]:
+        if not units:
+            return {}
+        self.board.ensure_layout()
+        self.board.clear_stop()
+        task_config = {
+            "code_version": self.code_version,
+            "max_attempts": self.max_retries + 1,
+            "lease_ttl": self.lease_ttl,
+            "backoff_base": self.backoff,
+            "backoff_cap": self.backoff_cap,
+        }
+        pending: Dict[int, _PendingCell] = {}
+        for task_id, unit in units:
+            cell = unit_cache_key(unit, self.code_version)
+            self.board.publish(
+                unit, cell, {**task_config, "backoff_seed": unit.seed}
+            )
+            pending[task_id] = _PendingCell(
+                task_id=task_id, unit=unit, cell=cell
+            )
+        self.log.emit(
+            "steal_board",
+            cells=len(pending),
+            board=str(self.board.root),
+            local_workers=self.local_workers,
+            lease_ttl=self.lease_ttl,
+        )
+        for _ in range(self.local_workers):
+            self._spawn_local_worker()
+
+        inline = WorkerLoop(
+            self.board,
+            worker_id=f"orchestrator-{os.getpid()}",
+            heartbeat_interval=self.heartbeat_interval,
+        )
+        outcomes: Dict[int, TaskOutcome] = {}
+        started = time.monotonic()
+        fallback_engaged = False
+        try:
+            while len(outcomes) < len(pending):
+                made_progress = False
+                for task_id, cell in list(pending.items()):
+                    if task_id in outcomes:
+                        continue
+                    record = self.board.read_result(cell.cell)
+                    if record is not None:
+                        outcome = self._accept_result(cell, record)
+                        if outcome is not None:
+                            outcomes[task_id] = outcome
+                            made_progress = True
+                            if self.progress is not None:
+                                self.progress.update(
+                                    done=len(outcomes),
+                                    retries=self.retries,
+                                    workers=len(self._processes),
+                                )
+                        continue
+                    reclaimed = self.board.reclaim_if_stale(
+                        cell.cell,
+                        "orchestrator",
+                        self.lease_ttl,
+                        {
+                            "base": self.backoff,
+                            "cap": self.backoff_cap,
+                            "seed": cell.unit.seed,
+                        },
+                    )
+                    if reclaimed is not None:
+                        self.leases_reclaimed += 1
+                        self.retries += 1
+                        self.log.emit(
+                            "lease_reclaimed",
+                            experiment=cell.unit.experiment,
+                            key=cell.unit.key,
+                            worker=reclaimed.worker,
+                            attempt=reclaimed.attempt,
+                        )
+                    failed = self._quarantine_check(cell)
+                    if failed is not None:
+                        outcomes[task_id] = failed
+                        made_progress = True
+                self._tend_local_workers()
+                if len(outcomes) >= len(pending):
+                    break
+                if not fallback_engaged and not self._processes:
+                    waited = time.monotonic() - started
+                    others = [
+                        worker
+                        for worker in self.board.fresh_workers(
+                            self.lease_ttl + self.heartbeat_interval
+                        )
+                        if worker != inline.worker_id
+                    ]
+                    if waited > self.fallback_after and not others:
+                        fallback_engaged = True
+                        self.log.emit(
+                            "steal_fallback", waited=round(waited, 2)
+                        )
+                if fallback_engaged:
+                    if inline.run_once():
+                        self.fallback_cells += 1
+                        made_progress = True
+                if (
+                    self.drain_timeout is not None
+                    and time.monotonic() - started > self.drain_timeout
+                ):
+                    for task_id, cell in pending.items():
+                        if task_id in outcomes:
+                            continue
+                        outcomes[task_id] = TaskOutcome(
+                            unit=cell.unit,
+                            failed=True,
+                            error=(
+                                "work-stealing drain timeout"
+                                f" ({self.drain_timeout}s)"
+                            ),
+                            history=self.board.attempt_records(cell.cell),
+                        )
+                    break
+                if not made_progress:
+                    time.sleep(self.poll_interval)
+        except KeyboardInterrupt:
+            self.interrupted = True
+            self.log.emit(
+                "interrupted",
+                completed=len(outcomes),
+                remaining=len(pending) - len(outcomes),
+            )
+        finally:
+            self._stop_local_workers(force=self.interrupted)
+            self._scan_journals()
+            # Duplicate completions (two ok records = one cell run twice:
+            # a lease race or violation made harmless by determinism) are
+            # counted after the workers have drained, so late-landing
+            # duplicate records are never missed.
+            self.duplicate_completions = sum(
+                max(
+                    0,
+                    sum(
+                        1
+                        for item in self.board.attempt_records(cell.cell)
+                        if item.get("status") == "ok"
+                    ) - 1,
+                )
+                for cell in pending.values()
+            )
+            if self.retire_cells and not self.interrupted:
+                for task_id, cell in pending.items():
+                    if task_id in outcomes and not outcomes[task_id].failed:
+                        self.board.retire(cell.cell)
+            self.board.clear_stop()
+        stolen = {
+            worker: count
+            for worker, count in self.cells_by_worker.items()
+            if worker != inline.worker_id
+        }
+        self.log.emit(
+            "steal_summary",
+            cells_by_worker=dict(sorted(self.cells_by_worker.items())),
+            stolen=sum(stolen.values()),
+            reclaimed=self.leases_reclaimed,
+            corrupt=self.corrupt_results,
+            duplicates=self.duplicate_completions,
+            fallback_cells=self.fallback_cells,
+            quarantined=self.quarantined,
+            torn_journals=self.torn_journals,
+        )
+        return outcomes
+
+
+__all__ = [
+    "BOARD_DIR",
+    "Board",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_LEASE_TTL",
+    "Lease",
+    "WorkStealingExecutor",
+    "WorkerLoop",
+    "default_worker_id",
+    "worker_loop",
+]

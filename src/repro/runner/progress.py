@@ -105,8 +105,24 @@ class RunReport:
     jobs: int = 1
     elapsed: float = 0.0
     #: Per-worker busy seconds, for the utilization figure.
-    worker_busy: Dict[int, float] = field(default_factory=dict)
+    worker_busy: Dict[Any, float] = field(default_factory=dict)
     artifacts: List[str] = field(default_factory=list)
+    #: Which executor backend ran the cells ("serial"/"pool"/"work-stealing").
+    executor: str = "pool"
+    #: -- work-stealing executor counters (zero under other backends) --------
+    #: Stale leases taken away from silent workers.
+    leases_reclaimed: int = 0
+    #: Cells observed to complete more than once (lease races/violations);
+    #: harmless by determinism, but counted as protocol evidence.
+    duplicate_completions: int = 0
+    #: Cells quarantined into failed_cells.json with full attempt history.
+    quarantined: int = 0
+    #: Cells the parent ran inline after no worker ever checked in.
+    fallback_cells: int = 0
+    #: Cells completed by workers other than the parent process.
+    cells_stolen: int = 0
+    #: Worker journals found torn mid-record (masked, but never silent).
+    torn_journals: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -148,6 +164,13 @@ class RunReport:
             "elapsed": round(self.elapsed, 3),
             "cells_per_second": round(self.cells_per_second, 3),
             "worker_utilization": round(self.utilization, 4),
+            "executor": self.executor,
+            "leases_reclaimed": self.leases_reclaimed,
+            "duplicate_completions": self.duplicate_completions,
+            "quarantined": self.quarantined,
+            "fallback_cells": self.fallback_cells,
+            "cells_stolen": self.cells_stolen,
+            "torn_journals": self.torn_journals,
         }
 
 

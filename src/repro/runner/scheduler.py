@@ -40,11 +40,12 @@ import queue as queue_module
 import time
 import traceback
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.faults.chaos import ChaosConfig
 
+from .backoff import backoff_delay
 from .progress import ProgressPrinter, RunLog
 from .registry import Unit, get_experiment
 
@@ -102,7 +103,8 @@ class TaskOutcome:
     unit: Unit
     value: Any = None
     elapsed: float = 0.0
-    worker: Optional[int] = None
+    #: Pool workers are numbered; distributed workers carry string ids.
+    worker: Optional[Union[int, str]] = None
     attempts: int = 1
     cached: bool = False
     failed: bool = False
@@ -110,6 +112,9 @@ class TaskOutcome:
     #: Sealed form of ``value`` when the backend produced one (the async
     #: executor always seals; the serial path only when asked).
     envelope: Optional[ResultEnvelope] = None
+    #: Per-attempt records (worker, fault/exception, backoff applied) for
+    #: every non-first attempt -- the quarantine manifest's evidence.
+    history: List[Dict[str, Any]] = field(default_factory=list)
 
 
 class Executor:
@@ -365,11 +370,39 @@ class Scheduler(Executor):
             )
             self.worker_busy.setdefault(worker_id, 0.0)
 
-        def schedule_retry(task_id: int, reason: str, error: str) -> None:
+        #: task_id -> per-attempt failure records (the quarantine evidence).
+        history: Dict[int, List[Dict[str, Any]]] = {
+            task_id: [] for task_id, _unit in units
+        }
+
+        def schedule_retry(
+            task_id: int,
+            reason: str,
+            error: str,
+            worker: Optional[Union[int, str]] = None,
+        ) -> None:
             attempts[task_id] += 1
             unit = by_id[task_id]
-            if attempts[task_id] <= self.max_retries:
-                delay = self.backoff * (2 ** (attempts[task_id] - 1))
+            retrying = attempts[task_id] <= self.max_retries
+            delay = (
+                backoff_delay(
+                    attempts[task_id],
+                    base=self.backoff,
+                    ident=unit.ident,
+                    seed=unit.seed,
+                )
+                if retrying else 0.0
+            )
+            history[task_id].append(
+                {
+                    "attempt": attempts[task_id],
+                    "worker": worker,
+                    "status": reason,
+                    "error": error.splitlines()[-1] if error else None,
+                    "backoff": round(delay, 4),
+                }
+            )
+            if retrying:
                 pending.append((task_id, time.monotonic() + delay))
                 self.retries += 1
                 self.log.emit(
@@ -386,6 +419,7 @@ class Scheduler(Executor):
                     failed=True,
                     error=error,
                     attempts=attempts[task_id],
+                    history=list(history[task_id]),
                 )
                 self.log.emit(
                     "unit_done",
@@ -485,7 +519,10 @@ class Scheduler(Executor):
                             key=unit.key,
                             worker=worker_id,
                         )
-                        schedule_retry(task_id, "corrupt-result", str(error))
+                        schedule_retry(
+                            task_id, "corrupt-result", str(error),
+                            worker=worker_id,
+                        )
                         continue
                     outcomes[task_id] = TaskOutcome(
                         unit=unit,
@@ -494,6 +531,7 @@ class Scheduler(Executor):
                         worker=worker_id,
                         attempts=attempts[task_id] + 1,
                         envelope=envelope,
+                        history=list(history[task_id]),
                     )
                     self.log.emit(
                         "unit_done",
@@ -512,7 +550,9 @@ class Scheduler(Executor):
                             workers=len(workers),
                         )
                 else:  # "err"
-                    schedule_retry(task_id, "exception", payload)
+                    schedule_retry(
+                        task_id, "exception", payload, worker=worker_id
+                    )
 
                 self._watchdog(
                     workers, by_id, claimed, claim_times, dispatched,
@@ -585,6 +625,7 @@ class Scheduler(Executor):
                 task_id,
                 "watchdog-timeout",
                 f"cell exceeded the {self.task_timeout}s watchdog timeout",
+                worker=worker_id,
             )
 
     def _check_workers(
@@ -622,6 +663,7 @@ class Scheduler(Executor):
                         task_id,
                         "worker-crash",
                         f"worker {worker_id} died (exit {process.exitcode})",
+                        worker=worker_id,
                     )
             replacement_id = self._next_worker_id
             self._next_worker_id += 1

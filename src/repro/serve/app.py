@@ -9,10 +9,15 @@ close.  Handler exceptions become JSON error responses (4xx for
 itself never dies to a bad client.
 
 ``run()`` is the blocking entry point behind ``python -m repro serve``:
-it installs SIGTERM/SIGINT handlers that resolve a stop future, drains
-the server and dispatchers, and returns 0 on a clean shutdown -- so
-process supervisors (and the CI smoke script) can tell a graceful stop
-from a crash by exit code alone.
+it installs SIGTERM/SIGINT handlers that resolve a stop future, stops
+accepting connections, then *drains* -- in-flight jobs get up to
+``drain_timeout`` seconds to finish before the dispatchers are torn
+down -- and returns 0 on a clean shutdown, so process supervisors (and
+the CI smoke script) can tell a graceful stop from a crash by exit code
+alone.  Work that outlives the drain (or a plain SIGKILL) is not lost:
+every queued job lives in the state dir's jobs journal until it reaches
+a terminal state, and ``start()`` resumes the orphans (see
+:meth:`repro.serve.jobs.JobManager.resume_pending`).
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import signal
 import sys
+import time
 import traceback
 from pathlib import Path
 from typing import Any, FrozenSet, Mapping, Optional, Union
@@ -56,11 +62,13 @@ class ServeApp:
         quota_burst: float = 10.0,
         options: Optional[Mapping[str, Any]] = None,
         extra_option_keys: FrozenSet[str] = frozenset(),
+        drain_timeout: float = 20.0,
         quiet: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.state_dir = Path(state_dir)
+        self.drain_timeout = drain_timeout
         self.quiet = quiet
         self.metrics = ServiceMetrics()
         self.quotas = QuotaRegistry(rate=quota_rate, burst=quota_burst)
@@ -97,6 +105,11 @@ class ServeApp:
         updated to the bound one (the tests rely on this).
         """
         ensure_default_experiments()
+        resumed = self.manager.resume_pending()
+        if resumed:
+            self._log(
+                f"resumed {resumed} pending job(s) from the jobs journal"
+            )
         await self.manager.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -113,6 +126,33 @@ class ServeApp:
             self._server = None
         await self.manager.stop()
         self._log("stopped")
+
+    async def drain(self) -> None:
+        """Stop accepting, then let in-flight jobs finish (bounded).
+
+        The listener closes first so no new work arrives; queued and
+        running jobs then get up to ``drain_timeout`` seconds to reach a
+        terminal state.  Jobs still pending when the clock runs out stay
+        journaled as queued, so the *next* start resumes them -- the
+        timeout defers work, it never loses it.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + max(0.0, self.drain_timeout)
+        while self.manager.inflight or self.manager.queue_depth():
+            if time.monotonic() >= deadline:
+                pending = (
+                    len(self.manager.inflight) + self.manager.queue_depth()
+                )
+                self._log(
+                    f"drain timed out with {pending} job(s) pending;"
+                    " they stay journaled for the next start"
+                )
+                return
+            await asyncio.sleep(0.05)
+        self._log("drained all in-flight jobs")
 
     def _log(self, message: str) -> None:
         if not self.quiet:
@@ -200,6 +240,7 @@ class ServeApp:
         await self.start()
         try:
             await stop
+            await self.drain()
         except asyncio.CancelledError:  # pragma: no cover - loop teardown
             pass
         finally:

@@ -84,6 +84,14 @@ SPEC_FIELDS = frozenset(
 
 JOB_STATES = ("queued", "running", "done", "failed")
 
+#: Crash-safe record of admitted-but-unfinished work, inside the state
+#: dir.  Every queued job appends a ``job_queued`` record (the full spec,
+#: enough to resubmit it); reaching a terminal state appends ``job_done``.
+#: A service killed mid-run therefore leaves orphaned ``job_queued``
+#: records, and :meth:`JobManager.resume_pending` re-admits them on the
+#: next start -- a SIGKILL defers queued work, it never loses it.
+JOBS_JOURNAL = "jobs-journal.jsonl"
+
 
 def to_jsonable(value: Any) -> Any:
     """Recursively convert a cell/artifact value into plain JSON types.
@@ -398,6 +406,11 @@ class JobManager:
         self.metrics = metrics
         self.cache = cache
         self.state_dir = Path(state_dir) if state_dir is not None else None
+        self.journal_path = (
+            self.state_dir / JOBS_JOURNAL
+            if self.state_dir is not None
+            else None
+        )
         self.base_options: Dict[str, Any] = dict(DEFAULT_OPTIONS)
         if base_options:
             self.base_options.update(base_options)
@@ -425,6 +438,91 @@ class JobManager:
     def queue_depth(self) -> int:
         """Jobs admitted but not yet picked up by a dispatcher."""
         return self._queue.qsize()
+
+    # -- jobs journal --------------------------------------------------------------
+
+    def _journal(self, event: str, **fields: Any) -> None:
+        if self.journal_path is None:
+            return
+        self.journal_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.journal_path.open("a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"event": event, **fields}, sort_keys=True) + "\n"
+            )
+
+    @staticmethod
+    def _journal_spec(spec: JobSpec) -> Dict[str, Any]:
+        return {
+            "experiment": spec.experiment,
+            "options": to_jsonable(spec.options_dict),
+            "filters": list(spec.filters),
+            "priority": spec.priority,
+            "client": spec.client,
+        }
+
+    def resume_pending(self) -> int:
+        """Re-admit jobs journaled as queued but never finished.
+
+        Reads the jobs journal through the torn-tail-tolerant parser (a
+        kill mid-append leaves a ragged last line), resubmits every
+        ``job_queued`` record with no matching ``job_done``, and compacts
+        the journal down to the survivors.  Specs that no longer admit
+        (experiment unregistered, options vocabulary moved on) are
+        retired rather than retried forever; specs whose results landed
+        in the store before the kill are acknowledged as done.  Returns
+        the number of jobs put back on the queue.
+        """
+        if self.journal_path is None or not self.journal_path.is_file():
+            return 0
+        from repro.sim import read_jsonl
+
+        pending: Dict[str, Dict[str, Any]] = {}
+        for event in read_jsonl(self.journal_path):
+            if event.get("event") == "job_queued":
+                raw = event.get("spec")
+                if isinstance(raw, dict):
+                    pending[str(event.get("content_hash", ""))] = raw
+            elif event.get("event") == "job_done":
+                pending.pop(str(event.get("content_hash", "")), None)
+
+        resumed = 0
+        survivors: List[str] = []
+        for journaled_hash, raw in pending.items():
+            try:
+                spec = JobSpec(
+                    experiment=raw["experiment"],
+                    options=tuple(sorted((raw.get("options") or {}).items())),
+                    filters=tuple(raw.get("filters") or ()),
+                    priority=int(raw.get("priority", 0)),
+                    client=str(raw.get("client", "anonymous")),
+                )
+                job, disposition = self.submit(spec)
+            except (HttpError, KeyError, TypeError, ValueError):
+                continue  # spec no longer admits; the compaction drops it
+            if disposition == "queued":
+                resumed += 1
+                self.metrics.jobs_resumed += 1
+                survivors.append(
+                    json.dumps(
+                        {
+                            "event": "job_queued",
+                            "content_hash": job.content_hash,
+                            "spec": self._journal_spec(spec),
+                        },
+                        sort_keys=True,
+                    )
+                )
+            # "cached": the result reached the store before the kill --
+            # already answered, nothing survives.  "deduped": attached to
+            # a job resubmitted earlier in this loop, which is the
+            # surviving record.
+
+        tmp = self.journal_path.with_name(self.journal_path.name + ".tmp")
+        tmp.write_text(
+            "".join(line + "\n" for line in survivors), encoding="utf-8"
+        )
+        tmp.replace(self.journal_path)
+        return resumed
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -515,6 +613,11 @@ class JobManager:
         # PriorityQueue pops the smallest tuple: higher priority first,
         # FIFO (by admission sequence) within a priority class.
         self._queue.put_nowait((-spec.priority, self._sequence, job.id))
+        self._journal(
+            "job_queued",
+            content_hash=content_hash,
+            spec=self._journal_spec(spec),
+        )
         return job, "queued"
 
     def _new_job(
@@ -563,6 +666,9 @@ class JobManager:
                 job.done_event.set()
                 self.inflight.pop(job.content_hash, None)
                 self.metrics.jobs_failed += 1
+                self._journal(
+                    "job_done", content_hash=job.content_hash, state="failed"
+                )
             finally:
                 self._queue.task_done()
 
@@ -653,6 +759,13 @@ class JobManager:
                 log.emit(
                     "job_end", job=job.id, status="failed", error=job.error
                 )
+                # A deterministic failure is terminal: journal it done so
+                # a restart does not replay it forever.  (Cancellation
+                # mid-run deliberately journals nothing -- the orphaned
+                # job_queued record is what resume_pending picks up.)
+                self._journal(
+                    "job_done", content_hash=job.content_hash, state="failed"
+                )
                 return
             values = [outcome.value for outcome in outcomes]
             experiment = get_experiment(job.spec.experiment)
@@ -683,6 +796,9 @@ class JobManager:
                 status="done",
                 result_sha256=job.result_sha256,
                 cached_cells=job.cells_cached,
+            )
+            self._journal(
+                "job_done", content_hash=job.content_hash, state="done"
             )
         finally:
             job.finished = time.time()

@@ -31,6 +31,8 @@ class ServiceMetrics:
     jobs_deduped: int = 0
     jobs_completed: int = 0
     jobs_failed: int = 0
+    #: Jobs re-admitted from the jobs journal after a kill/restart.
+    jobs_resumed: int = 0
     #: Requests rejected by a client's token bucket (HTTP 429).
     quota_rejections: int = 0
     #: Cell execution inside jobs.
@@ -58,6 +60,7 @@ class ServiceMetrics:
             "jobs_deduped": self.jobs_deduped,
             "jobs_completed": self.jobs_completed,
             "jobs_failed": self.jobs_failed,
+            "jobs_resumed": self.jobs_resumed,
             "quota_rejections": self.quota_rejections,
             "cells_run": self.cells_run,
             "cells_cached": self.cells_cached,

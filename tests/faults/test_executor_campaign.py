@@ -1,0 +1,106 @@
+"""The executor-layer chaos campaign: the lease protocol under attack.
+
+The full seven-mode matrix runs in CI (``python -m repro chaos
+executor``); here the unit layer pins the deterministic fault decision
+function and the plan taxonomy, and one end-to-end slice drives a real
+two-worker topology through a SIGKILL fault to the byte-identical
+verdict -- fast enough for the tier-1 suite, honest enough to catch a
+broken recovery path.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    EXECUTOR_FAULT_KINDS,
+    EXECUTOR_FAULT_MODES,
+    ExecutorChaosConfig,
+    FaultPlan,
+    FaultSpec,
+    default_executor_plan,
+    run_executor_campaign,
+)
+
+
+class TestExecutorPlan:
+    def test_default_plan_covers_every_kind(self):
+        plan = default_executor_plan()
+        assert [spec.kind for spec in plan.specs] == list(
+            EXECUTOR_FAULT_KINDS
+        )
+        for spec in plan.specs:
+            assert spec.layer == "executor"
+            assert spec.trigger == 1
+
+    def test_modes_and_kinds_agree(self):
+        # Every chaos mode is a campaign kind; the campaign adds only the
+        # cross-host poison case (driven by poison_idents, not a mode).
+        assert set(EXECUTOR_FAULT_MODES) | {"cross-host-poison"} == set(
+            EXECUTOR_FAULT_KINDS
+        )
+
+    def test_plan_round_trips_through_json(self):
+        plan = default_executor_plan(seed=11)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestExecutorChaosConfig:
+    def test_fault_decision_is_deterministic(self):
+        config = ExecutorChaosConfig(seed=4, rate=1.0)
+        decisions = [
+            config.fault_for(f"cell-{i}", 1) for i in range(10)
+        ]
+        assert decisions == [
+            config.fault_for(f"cell-{i}", 1) for i in range(10)
+        ]
+        assert all(mode in EXECUTOR_FAULT_MODES for mode in decisions)
+
+    def test_rate_zero_is_honest(self):
+        config = ExecutorChaosConfig(seed=4, rate=0.0)
+        assert all(
+            config.fault_for(f"cell-{i}", 1) is None for i in range(10)
+        )
+
+    def test_attempts_beyond_max_are_honest(self):
+        config = ExecutorChaosConfig(seed=4, rate=1.0, max_attempt=1)
+        assert config.fault_for("cell", 2) is None
+
+    def test_poison_overrides_everything(self):
+        config = ExecutorChaosConfig(
+            seed=4, rate=0.0, poison_idents=("bad/cell",)
+        )
+        for attempt in (1, 2, 5):
+            assert config.fault_for("bad/cell", attempt) == "poison"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorChaosConfig(modes=("made-up",))
+
+    def test_round_trips_through_dict(self):
+        config = ExecutorChaosConfig(
+            seed=9, modes=("worker-sigkill",), rate=0.25,
+            freeze_seconds=1.5, poison_idents=("a", "b"),
+        )
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert ExecutorChaosConfig.from_dict(payload) == config
+
+
+class TestExecutorCampaignSlice:
+    def test_sigkill_slice_masked_and_byte_identical(self, tmp_path):
+        plan = FaultPlan(
+            name="executor-slice",
+            seed=2019,
+            specs=(FaultSpec(kind="worker-sigkill", trigger=1),),
+        )
+        report = run_executor_campaign(
+            tmp_path, plan=plan, cells=4, workers=2
+        )
+        assert report.baseline_violations == []
+        assert report.silent_faults == []
+        assert report.ok
+        (row,) = report.rows
+        assert row.kind == "worker-sigkill"
+        assert row.injections >= 1
+        assert "lease-reclaim" in row.detected_by
+        assert "artifact-match" in row.detected_by

@@ -1,0 +1,240 @@
+"""Unit and integration tests for the lease-based work-stealing executor.
+
+The board tests pin the protocol's atomic clauses one at a time
+(exclusive claims, owner-checked renewal, single-winner reclamation);
+the executor tests drive the whole loop -- spawned local workers,
+graceful degradation to inline execution, and cross-worker poison
+quarantine with its full attempt history.
+"""
+
+import time
+
+import pytest
+
+from repro.faults.chaos import ExecutorChaosConfig
+from repro.runner.backoff import backoff_delay
+from repro.runner.distributed import (
+    Board,
+    Lease,
+    WorkerLoop,
+    WorkStealingExecutor,
+)
+from repro.runner.registry import REGISTRY, Experiment, register
+
+BACKOFF = {"base": 0.01, "cap": 0.05, "seed": 7}
+
+
+class StealToyExperiment(Experiment):
+    """Triples its value; raises when told to."""
+
+    def units(self, options):
+        return []
+
+    @staticmethod
+    def run(params):
+        if params.get("boom"):
+            raise ValueError("boom requested")
+        return params["value"] * 3
+
+    def assemble(self, values, options):
+        return values
+
+
+@pytest.fixture
+def toy():
+    register("steal-toy")(StealToyExperiment)
+    yield REGISTRY["steal-toy"]
+    REGISTRY.pop("steal-toy", None)
+
+
+@pytest.fixture
+def board(tmp_path):
+    board = Board(tmp_path / "cache")
+    board.ensure_layout()
+    return board
+
+
+class TestBoardLeases:
+    def test_claim_is_exclusive(self, board):
+        assert board.try_claim("cell", "alice", attempt=1) is not None
+        assert board.try_claim("cell", "bob", attempt=1) is None
+        lease = board.read_lease("cell")
+        assert lease.worker == "alice"
+        assert lease.attempt == 1
+
+    def test_forced_claim_is_the_protocol_violation(self, board):
+        board.try_claim("cell", "alice", attempt=1)
+        forced = board.try_claim("cell", "mallory", attempt=1, force=True)
+        assert forced is not None
+        assert board.read_lease("cell").worker == "mallory"
+
+    def test_renew_requires_ownership(self, board):
+        board.try_claim("cell", "alice", attempt=1)
+        before = board.read_lease("cell").heartbeat
+        time.sleep(0.01)
+        assert board.renew("cell", "alice")
+        assert board.read_lease("cell").heartbeat > before
+        assert not board.renew("cell", "bob")
+        board.release("cell", "alice")
+        assert not board.renew("cell", "alice")
+
+    def test_release_requires_ownership(self, board):
+        board.try_claim("cell", "alice", attempt=1)
+        board.release("cell", "bob")
+        assert board.read_lease("cell") is not None
+        board.release("cell", "alice")
+        assert board.read_lease("cell") is None
+
+    def test_fresh_lease_is_not_reclaimable(self, board):
+        board.try_claim("cell", "alice", attempt=1)
+        assert board.reclaim_if_stale("cell", "bob", 5.0, BACKOFF) is None
+        assert board.read_lease("cell").worker == "alice"
+        assert board.attempt_records("cell") == []
+
+    def test_stale_lease_reclaimed_once_with_backoff_record(self, board):
+        board.try_claim(
+            "cell", "alice", attempt=2, heartbeat=time.time() - 100.0
+        )
+        reclaimed = board.reclaim_if_stale("cell", "bob", 1.0, BACKOFF)
+        assert isinstance(reclaimed, Lease)
+        assert reclaimed.worker == "alice"
+        # The rename decided the winner: the lease is gone, a second
+        # reclaimer finds nothing and must not double-count the attempt.
+        assert board.read_lease("cell") is None
+        assert board.reclaim_if_stale("cell", "carol", 1.0, BACKOFF) is None
+        (record,) = board.attempt_records("cell")
+        assert record["status"] == "reclaimed"
+        assert record["worker"] == "alice"
+        assert record["by"] == "bob"
+        expected = backoff_delay(2, base=0.01, cap=0.05, ident="cell", seed=7)
+        assert record["backoff"] == round(expected, 4)
+        assert record["not_before"] > time.time() - 1.0
+
+
+def _executor(tmp_path, **overrides):
+    options = dict(
+        cache_dir=tmp_path / "cache",
+        local_workers=0,
+        max_retries=2,
+        backoff=0.01,
+        backoff_cap=0.1,
+        lease_ttl=1.0,
+        heartbeat_interval=0.1,
+        poll_interval=0.02,
+        fallback_after=0.05,
+    )
+    options.update(overrides)
+    return WorkStealingExecutor(**options)
+
+
+class TestWorkStealingExecutor:
+    def test_spawned_workers_steal_every_cell(self, tmp_path, toy):
+        executor = _executor(
+            tmp_path, local_workers=2, fallback_after=30.0
+        )
+        units = [(i, toy.unit(str(i), value=i)) for i in range(6)]
+        try:
+            outcomes = executor.run(units)
+        finally:
+            executor.close()
+        assert sorted(outcomes) == list(range(6))
+        for i, outcome in outcomes.items():
+            assert not outcome.failed
+            assert outcome.value == i * 3
+            assert str(outcome.worker).startswith("local-")
+        assert sum(executor.cells_by_worker.values()) == 6
+        assert executor.fallback_cells == 0
+        # Successful cells are retired: the board is consumable state,
+        # the durable layer is the regular result cache.
+        assert executor.board.task_cells() == []
+
+    def test_degrades_to_inline_when_no_worker_checks_in(
+        self, tmp_path, toy
+    ):
+        executor = _executor(tmp_path)
+        units = [(i, toy.unit(str(i), value=i)) for i in range(3)]
+        try:
+            outcomes = executor.run(units)
+        finally:
+            executor.close()
+        assert all(not outcome.failed for outcome in outcomes.values())
+        assert executor.fallback_cells == 3
+        assert executor.worker_crashes == 0
+
+    def test_submit_satisfies_the_executor_seam(self, tmp_path, toy):
+        executor = _executor(tmp_path)
+        try:
+            outcome = executor.submit(toy.unit("solo", value=7))
+        finally:
+            executor.close()
+        assert not outcome.failed
+        assert outcome.value == 21
+        assert outcome.envelope is not None and outcome.envelope.intact
+
+    def test_poison_cell_quarantined_with_full_history(
+        self, tmp_path, toy
+    ):
+        unit = toy.unit("bad", value=1)
+        chaos = ExecutorChaosConfig(
+            seed=3, modes=(), rate=0.0, poison_idents=(unit.ident,)
+        )
+        executor = _executor(tmp_path, max_retries=1, chaos=chaos)
+        # Exhaust the attempt budget by hand through two distinct chaotic
+        # workers, then let the orchestrator find the wreckage.
+        executor.board.ensure_layout()
+        loop = WorkerLoop(
+            executor.board, worker_id="w1", heartbeat_interval=0.05,
+            chaos=chaos,
+        )
+        from repro.runner.cache import unit_cache_key
+
+        cell = unit_cache_key(unit, executor.code_version)
+        executor.board.publish(
+            unit, cell,
+            {
+                "code_version": executor.code_version,
+                "max_attempts": 2,
+                "lease_ttl": 1.0,
+                "backoff_base": 0.0,
+                "backoff_cap": 0.0,
+                "backoff_seed": unit.seed,
+                "ident": unit.ident,
+            },
+        )
+        second = WorkerLoop(
+            executor.board, worker_id="w2", heartbeat_interval=0.05,
+            chaos=chaos,
+        )
+        assert loop.run_once()
+        assert second.run_once()
+
+        outcomes = executor.run([(0, unit)])
+        executor.close()
+        outcome = outcomes[0]
+        assert outcome.failed
+        assert "poison" in (outcome.error or "")
+        assert executor.quarantined == 1
+        # The quarantine evidence: one record per attempt, each naming
+        # the worker it ran on -- here two distinct workers.
+        assert len(outcome.history) == 2
+        assert {record["worker"] for record in outcome.history} == {
+            "w1", "w2"
+        }
+        assert all(
+            record["status"] == "error" for record in outcome.history
+        )
+        assert executor.board.is_quarantined(cell)
+
+    def test_error_cells_retry_then_exhaust_with_history(
+        self, tmp_path, toy
+    ):
+        executor = _executor(tmp_path, max_retries=1)
+        unit = toy.unit("boom", value=1, boom=True)
+        outcomes = executor.run([(0, unit)])
+        executor.close()
+        outcome = outcomes[0]
+        assert outcome.failed
+        assert "boom requested" in (outcome.error or "")
+        assert len(outcome.history) == 2
+        assert [record["attempt"] for record in outcome.history] == [1, 2]
+        assert all("backoff" in record for record in outcome.history)
