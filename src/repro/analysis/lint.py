@@ -52,6 +52,21 @@ over Python ASTs:
     is therefore reachable by ``python -m repro certify`` -- certifiable
     by construction.
 
+``allocation-free-run-kernel``
+    The batched translation kernels (``translate_slice``,
+    ``translate_runs``, ``_oracle_slice``, ``_run_miss_fast``,
+    ``_victim_fast``, ``_fill_fast``, ``_settle_touch``) are the inner
+    loops the speedup headline stands on: no dataclass or event
+    construction (``TLBEntry``/``AccessResult``/``WalkResult``/
+    ``*Event``), no ``snapshot()`` calls, no comprehensions, and tuples
+    only where they do not allocate per access (unpacking targets,
+    return statements, index keys, and ``.get``/``.pop`` arguments).
+    The compile-tier pre-passes (``ReuseOracle.extend``,
+    ``_oracle_engage``, ``_rebuild_victim_queue``) are deliberately
+    outside the guarded set -- they run once per trace or per rebuild,
+    not per access -- and the numpy backend module is allow-listed
+    (vectorized array expressions allocate wholesale, not per event).
+
 A finding can be waived on its own line with a trailing
 ``# invariant: allow <rule-name>`` comment.
 """
@@ -452,6 +467,119 @@ class CertifiableHierarchy(Rule):
                 )
 
 
+#: The batched-kernel functions held to the allocation-free discipline.
+#: Matched by name wherever they are defined, so every design's override
+#: of ``_run_miss_fast`` (and any future one) is covered automatically.
+KERNEL_FUNCTIONS = frozenset(
+    {
+        "translate_slice",
+        "translate_runs",
+        "_oracle_slice",
+        "_run_miss_fast",
+        "_victim_fast",
+        "_fill_fast",
+        "_settle_touch",
+    }
+)
+
+#: Constructors whose appearance inside a kernel function means a
+#: per-access heap allocation crept back into an inner loop.
+KERNEL_ALLOCATING_CALLS = frozenset({"TLBEntry", "AccessResult", "WalkResult"})
+
+#: Comprehension nodes (each builds a fresh container per evaluation).
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+class AllocationFreeRunKernel(Rule):
+    name = "allocation-free-run-kernel"
+    description = (
+        "the batched translation kernels stay allocation-free: no"
+        " dataclass/event construction, snapshot() calls or"
+        " comprehensions, and tuples only in non-allocating positions"
+        " (unpacking, return, index keys, .get/.pop arguments)"
+    )
+    #: The numpy structural backend builds whole arrays at once -- its
+    #: allocations are per trace chunk, not per access.
+    allowed_files = ("repro/sim/kernel_np.py",)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[LintFinding]:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.FunctionDef)
+                and node.name in KERNEL_FUNCTIONS
+            ):
+                yield from self._check_kernel(node, relpath)
+
+    def _check_kernel(
+        self, func: ast.FunctionDef, relpath: str
+    ) -> Iterator[LintFinding]:
+        allowed_tuples = set()
+        for node in ast.walk(func):
+            # Mark the tuple positions that do not allocate per access
+            # (or allocate only on cold paths CPython optimizes anyway).
+            if isinstance(node, ast.Return) and isinstance(
+                node.value, ast.Tuple
+            ):
+                allowed_tuples.add(id(node.value))
+            elif isinstance(node, ast.Subscript) and isinstance(
+                node.slice, ast.Tuple
+            ):
+                allowed_tuples.add(id(node.slice))
+            elif isinstance(node, ast.Call):
+                # ``.get``/``.pop`` index-key arguments, including the
+                # hoisted bound-method idiom (``index_get = index.get``).
+                name = _call_name(node)
+                if name is not None and (
+                    name.endswith("get") or name.endswith("pop")
+                ):
+                    for arg in node.args:
+                        if isinstance(arg, ast.Tuple):
+                            allowed_tuples.add(id(arg))
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in KERNEL_ALLOCATING_CALLS or (
+                    name is not None and name.endswith("Event")
+                ):
+                    yield self.finding(
+                        node,
+                        relpath,
+                        f"{name}(...) constructed inside kernel function"
+                        f" {func.name}(); the batched kernels must not"
+                        " allocate result or event objects per access",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "snapshot"
+                ):
+                    yield self.finding(
+                        node,
+                        relpath,
+                        f"snapshot() called inside kernel function"
+                        f" {func.name}(); snapshots copy whole"
+                        " structures per call",
+                    )
+            elif isinstance(node, _COMPREHENSIONS):
+                yield self.finding(
+                    node,
+                    relpath,
+                    f"comprehension inside kernel function {func.name}();"
+                    " build containers outside the inner loops",
+                )
+            elif (
+                isinstance(node, ast.Tuple)
+                and isinstance(node.ctx, ast.Load)
+                and id(node) not in allowed_tuples
+            ):
+                yield self.finding(
+                    node,
+                    relpath,
+                    f"tuple built inside kernel function {func.name}()"
+                    " outside the non-allocating positions (unpacking,"
+                    " return, index key, .get/.pop argument)",
+                )
+
+
 #: Rule registry, in reporting order.
 LINT_RULES: Tuple[Rule, ...] = (
     FacadeTLBConstruction(),
@@ -461,6 +589,7 @@ LINT_RULES: Tuple[Rule, ...] = (
     FrozenEventDataclasses(),
     NoSnapshotMutation(),
     CertifiableHierarchy(),
+    AllocationFreeRunKernel(),
 )
 
 

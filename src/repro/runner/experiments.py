@@ -40,6 +40,10 @@ DEFAULT_OPTIONS: Dict[str, Any] = {
     #: artifacts are byte-identical either way (differentially verified);
     #: ``repro run-all --no-fastpath`` flips this to the reference model.
     "fig7_fastpath": True,
+    #: Which batched kernel the fast path uses ("run" = the run-granular
+    #: tier, "access" = per-position slices).  Artifacts are byte-identical
+    #: along this axis too; ``repro run-all --kernel access`` flips it.
+    "kernel": "run",
     "series_rsa_runs": [50, 100, 150],
     "mitigation_trials": 200,
     "hierarchy_trials": 100,
@@ -235,6 +239,7 @@ class Figure7Experiment(Experiment):
         spec_instructions = opt(options, "fig7_spec_instructions")
         key_bits = opt(options, "fig7_key_bits")
         fastpath = opt(options, "fig7_fastpath")
+        kernel = opt(options, "kernel")
         units = []
         grid, series = _fig7_unit_sets(options)
         for part, cells in (("grid", grid), ("series", series)):
@@ -251,6 +256,7 @@ class Figure7Experiment(Experiment):
                         spec_instructions=spec_instructions,
                         key_bits=key_bits,
                         fastpath=fastpath,
+                        kernel=kernel,
                     )
                 )
         return units
@@ -264,6 +270,7 @@ class Figure7Experiment(Experiment):
             spec_instructions=params["spec_instructions"],
             key_bits=params["key_bits"],
             fastpath=params.get("fastpath", True),
+            kernel=params.get("kernel", "run"),
         )
         return run_cell(
             TLBKind(params["kind"]),
@@ -435,6 +442,7 @@ class HierarchySweepExperiment(Experiment):
                     part="perf",
                     spec=spec.to_dict(),
                     rsa_runs=rsa_runs,
+                    kernel=opt(options, "kernel"),
                 )
             )
         units.append(
@@ -464,7 +472,9 @@ class HierarchySweepExperiment(Experiment):
             )
         if part == "perf":
             return sweep_perf_point(
-                params["spec"], rsa_runs=params["rsa_runs"]
+                params["spec"],
+                rsa_runs=params["rsa_runs"],
+                kernel=params.get("kernel", "run"),
             )
         if part == "leakage":
             return refill_leakage(params["spec"])

@@ -1,0 +1,81 @@
+"""Vectorised structure pre-pass for :class:`repro.sim.kernel.CompiledTrace`.
+
+Optional backend: :mod:`repro.sim.kernel` imports this module inside a
+``try`` and falls back to the pure-Python pre-pass when numpy is absent,
+so nothing else may import it directly.  The module is allow-listed by
+the ``allocation-free-run-kernel`` lint rule -- numpy's array ops
+allocate internally, but the pre-pass runs once per compiled chunk, not
+per access.
+
+The job: given the freshly-compiled positions ``[start, limit)`` of a
+trace, append ``prev[i]`` (position of the previous occurrence of
+``vpns[i]``; -1 if first) and ``nxt[i]`` (position of the next
+occurrence; ``inf`` sentinel if none yet), extend the per-page ``occ``
+occurrence lists and the ``boundary_firsts`` column, and patch ``nxt``
+entries of *earlier* extensions whose page reappears in this one.
+Within the extension the linking is a stable argsort over vpns -- equal
+pages end up adjacent in trace order, so shifted equality masks recover
+every (previous, next) pair without a Python-level loop.  Only the
+per-distinct-page work (occurrence-list extension and cross-extension
+stitching through ``_last_pos``) iterates in Python, over groups rather
+than events.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def extend_structure(trace, start: int, limit: int, inf: int) -> None:
+    """Append structure columns for positions ``[start, limit)``."""
+    count = limit - start
+    vpns = np.frombuffer(trace.vpns, dtype=np.int64, count=limit)[start:limit]
+
+    # Stable sort groups equal vpns while preserving trace order inside
+    # each group, so neighbours in sorted order with equal vpns are
+    # consecutive occurrences of the same page.
+    order = np.argsort(vpns, kind="stable")
+    sorted_vpns = vpns[order]
+    positions = order.astype(np.int64) + start
+    same = sorted_vpns[1:] == sorted_vpns[:-1]
+
+    prev_arr = np.full(count, -1, dtype=np.int64)
+    nxt_arr = np.full(count, inf, dtype=np.int64)
+    prev_arr[order[1:][same]] = positions[:-1][same]
+    nxt_arr[order[:-1][same]] = positions[1:][same]
+
+    first_mask = np.empty(count, dtype=bool)
+    first_mask[0] = True
+    first_mask[1:] = ~same
+    group_starts = np.flatnonzero(first_mask)
+    group_ends = np.append(group_starts[1:], count)
+
+    # Per-group (per distinct page) work: extend its occurrence list and
+    # stitch this extension's first occurrence to the chain tail left by
+    # an earlier extension.
+    last_pos = trace._last_pos
+    occ = trace.occ
+    nxt_list = trace.nxt
+    pos_list = positions.tolist()
+    first_indices = order[first_mask]
+    for which, (gs, ge) in enumerate(
+        zip(group_starts.tolist(), group_ends.tolist())
+    ):
+        vpn = int(sorted_vpns[gs])
+        group = pos_list[gs:ge]
+        earlier = last_pos.get(vpn, -1)
+        if earlier >= 0:
+            prev_arr[first_indices[which]] = earlier
+            nxt_list[earlier] = group[0]
+        last_pos[vpn] = group[-1]
+        chain = occ.get(vpn)
+        if chain is None:
+            occ[vpn] = group
+        else:
+            chain.extend(group)
+
+    # Boundary firsts: each page's first occurrence in this extension
+    # (exactly the group heads), in ascending trace order.
+    trace.boundary_firsts.extend(np.sort(positions[first_mask]).tolist())
+    trace.prev.extend(prev_arr.tolist())
+    nxt_list.extend(nxt_arr.tolist())

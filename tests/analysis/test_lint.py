@@ -216,6 +216,54 @@ class TestCertifiableHierarchy:
             assert rules_hit(source, path=path) == [], path
 
 
+class TestAllocationFreeRunKernel:
+    def kernel(self, body: str) -> str:
+        return f"def _run_miss_fast(self, vpn, asid, translator):\n{body}"
+
+    def test_result_construction_is_flagged(self):
+        source = self.kernel("    return AccessResult(hit=False)\n")
+        assert rules_hit(source) == ["allocation-free-run-kernel"]
+
+    def test_event_construction_is_flagged(self):
+        source = self.kernel("    bus.publish(TLBAccessEvent(vpn=vpn))\n")
+        assert rules_hit(source) == ["allocation-free-run-kernel"]
+
+    def test_snapshot_is_flagged(self):
+        source = self.kernel("    state = self.stats.snapshot()\n")
+        assert rules_hit(source) == ["allocation-free-run-kernel"]
+
+    def test_comprehensions_are_flagged(self):
+        source = self.kernel("    keys = [e.vpn for e in entries]\n")
+        assert rules_hit(source) == ["allocation-free-run-kernel"]
+
+    def test_loose_tuple_construction_is_flagged(self):
+        source = self.kernel("    pair = (vpn, asid)\n")
+        assert rules_hit(source) == ["allocation-free-run-kernel"]
+
+    def test_non_allocating_tuple_positions_are_fine(self):
+        source = self.kernel(
+            "    cycles, misses = probe(vpn)\n"
+            "    entry = index.get((vpn, asid, 0))\n"
+            "    index_get = index.get\n"
+            "    entry = index_get((vpn, asid, 0))\n"
+            "    index.pop((vpn, asid, 0), None)\n"
+            "    index[(vpn, asid, 0)] = entry\n"
+            "    return cycles, misses\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_only_kernel_functions_are_guarded(self):
+        source = (
+            "def _handle_miss(self, vpn, asid, translator):\n"
+            "    return AccessResult(hit=False)\n"
+        )
+        assert rules_hit(source) == []
+
+    def test_the_numpy_backend_is_allowed(self):
+        source = self.kernel("    pair = (vpn, asid)\n")
+        assert rules_hit(source, path="repro/sim/kernel_np.py") == []
+
+
 class TestWaivers:
     def test_a_matching_waiver_suppresses_the_finding(self):
         source = (
@@ -242,6 +290,7 @@ class TestRunLint:
             "frozen-event-dataclasses",
             "no-snapshot-mutation",
             "certifiable-hierarchy",
+            "allocation-free-run-kernel",
         ]
 
     def test_the_shipped_tree_is_clean(self):
